@@ -1,0 +1,52 @@
+"""Fig. 7: breakdown of the construction time by phase on the two backends.
+
+The paper profiles the share of the total construction time spent in sampling,
+entry generation, BSR multiplication, the convergence test, the interpolative
+decompositions and miscellaneous work, for growing problem sizes on CPU and
+GPU.  The reproduction prints the same percentage breakdown for the serial
+("CPU") and vectorized ("GPU-batched") backends.
+"""
+
+import pytest
+
+from repro.diagnostics import format_table, phase_breakdown
+from repro.diagnostics.profiling import PHASE_ORDER
+
+from common import bench_sizes, cached_problem, construct_h2
+
+
+def run_profile_breakdown():
+    rows = []
+    breakdowns = {}
+    for n in bench_sizes():
+        problem = cached_problem("covariance", n)
+        for backend in ("serial", "vectorized"):
+            result = construct_h2(problem, backend=backend)
+            pct = phase_breakdown(result).ordered_percentages()
+            breakdowns[(backend, n)] = pct
+            rows.append(
+                [backend, n, f"{result.elapsed_seconds:.3f}"]
+                + [f"{pct.get(phase, 0.0):.1f}" for phase in PHASE_ORDER]
+            )
+    print()
+    print(
+        format_table(
+            ["backend", "N", "total [s]"] + [f"{p} %" for p in PHASE_ORDER],
+            rows,
+            title="Fig. 7: construction time breakdown by phase",
+        )
+    )
+    return breakdowns
+
+
+@pytest.mark.benchmark(group="fig7-profile")
+def test_fig7_profile_breakdown(benchmark):
+    breakdowns = benchmark.pedantic(run_profile_breakdown, rounds=1, iterations=1)
+    for pct in breakdowns.values():
+        total = sum(pct.values())
+        assert abs(total - 100.0) < 1e-6 or total == 0.0
+    # sampling + BSR multiplication dominate, as reported in the paper (Section V-C)
+    largest = max(bench_sizes())
+    pct = breakdowns[("vectorized", largest)]
+    heavy = pct["sampling"] + pct["bsr_gemm"] + pct["entry_generation"]
+    assert heavy > pct["id"]

@@ -1,0 +1,83 @@
+"""Headline speedup summary (abstract / Section V-B claims).
+
+The paper reports up to 13x speedup of the GPU implementation over its own CPU
+implementation, up to ~1000x over H2Opus' top-down GPU construction and ~660x
+over ButterflyPACK's sketched H construction.  The reproduction compares the
+vectorized (batched) backend against the serial backend and against the two
+comparator algorithms at a single problem size and prints the resulting
+speedup factors.  Absolute factors differ from the paper (no GPU, pure-Python
+baselines); the *ordering* must hold: ours(batched) is fastest, the
+sketching comparators are slowest.
+"""
+
+import pytest
+
+from repro.baselines import HMatrixSketchingConstructor, TopDownPeelingConstructor
+from repro.diagnostics import format_table
+
+from common import DEFAULT_TOLERANCE, baseline_max_n, bench_sizes, cached_problem, construct_h2
+
+
+def run_speedup_summary():
+    n = min(max(bench_sizes()), baseline_max_n())
+    problem = cached_problem("covariance", n)
+    timings = {}
+    samples = {}
+
+    vec = construct_h2(problem, backend="vectorized")
+    timings["ours (vectorized batched)"] = vec.elapsed_seconds
+    samples["ours (vectorized batched)"] = vec.total_samples
+
+    ser = construct_h2(problem, backend="serial")
+    timings["ours (serial)"] = ser.elapsed_seconds
+    samples["ours (serial)"] = ser.total_samples
+
+    peel = TopDownPeelingConstructor(
+        problem.tree,
+        problem.fresh_operator(),
+        problem.extractor,
+        tolerance=DEFAULT_TOLERANCE,
+        sample_block_size=64,
+        max_rank=512,
+        seed=3,
+    ).construct()
+    timings["top-down peeling (H2Opus-like)"] = peel.elapsed_seconds
+    samples["top-down peeling (H2Opus-like)"] = peel.total_samples
+
+    sketch = HMatrixSketchingConstructor(
+        problem.partition,
+        problem.fresh_operator(),
+        problem.extractor,
+        tolerance=DEFAULT_TOLERANCE,
+        sample_block_size=64,
+        seed=4,
+    ).construct()
+    timings["H sketch (ButterflyPACK-like)"] = sketch.elapsed_seconds
+    samples["H sketch (ButterflyPACK-like)"] = sketch.total_samples
+
+    fastest = timings["ours (vectorized batched)"]
+    rows = [
+        [name, f"{seconds:.3f}", f"{seconds / fastest:.1f}x", samples[name]]
+        for name, seconds in timings.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["method", "time [s]", "slowdown vs ours", "total samples"],
+            rows,
+            title=f"Speedup summary (3D covariance, N={n}, tol={DEFAULT_TOLERANCE:g})",
+        )
+    )
+    return timings, samples
+
+
+@pytest.mark.benchmark(group="speedup-summary")
+def test_speedup_summary(benchmark):
+    timings, samples = benchmark.pedantic(run_speedup_summary, rounds=1, iterations=1)
+    ours = timings["ours (vectorized batched)"]
+    # the proposed construction is faster than both comparators (paper: 660x-1000x)
+    assert timings["top-down peeling (H2Opus-like)"] > ours
+    assert timings["H sketch (ButterflyPACK-like)"] > ours
+    # and needs fewer samples than either comparator
+    assert samples["ours (vectorized batched)"] < samples["top-down peeling (H2Opus-like)"]
+    assert samples["ours (vectorized batched)"] < samples["H sketch (ButterflyPACK-like)"]

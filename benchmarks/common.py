@@ -1,0 +1,170 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at reproduction
+scale (pure NumPy substrate instead of an A100), printing the same rows/series
+the paper reports.  Problem sizes default to laptop-friendly values and can be
+scaled with environment variables:
+
+``REPRO_BENCH_SIZES``
+    Comma-separated list of N values for the Fig. 5/6 sweeps
+    (default ``2048,4096,8192``).
+``REPRO_BENCH_BASELINE_MAX_N``
+    Largest N at which the expensive comparator algorithms (top-down peeling,
+    colored-probing H sketch) are run (default ``4096``) — mirroring the paper,
+    where the baselines run out of memory/time well before the proposed method.
+``REPRO_BENCH_GRIDS``
+    Comma-separated grid extents for the frontal-matrix study (default
+    ``12,16,20,24``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro import (
+    ClusterTree,
+    ConstructionConfig,
+    DenseEntryExtractor,
+    DenseOperator,
+    ExponentialKernel,
+    GeneralAdmissibility,
+    H2Constructor,
+    HelmholtzKernel,
+    build_block_partition,
+    uniform_cube_points,
+)
+
+DEFAULT_TOLERANCE = 1e-6
+DEFAULT_LEAF_SIZE = 64
+DEFAULT_ETA = 0.7
+DEFAULT_SAMPLE_BLOCK = 64
+
+
+def bench_sizes() -> List[int]:
+    """Problem sizes for the N sweeps (Fig. 5 and Fig. 6a)."""
+    raw = os.environ.get("REPRO_BENCH_SIZES", "2048,4096,8192")
+    return [int(x) for x in raw.split(",") if x.strip()]
+
+
+def baseline_max_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_BASELINE_MAX_N", "4096"))
+
+
+def bench_grids() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_GRIDS", "12,16,20,24")
+    return [int(x) for x in raw.split(",") if x.strip()]
+
+
+@dataclass
+class Problem:
+    """A dense test problem: geometry, partition, matrix, operator, extractor."""
+
+    name: str
+    n: int
+    tree: ClusterTree
+    partition: object
+    dense: np.ndarray
+    operator: DenseOperator
+    extractor: DenseEntryExtractor
+
+    def fresh_operator(self) -> DenseOperator:
+        """A new operator instance so per-run sample statistics start from zero."""
+        return DenseOperator(self.dense)
+
+
+def make_covariance_problem(
+    n: int,
+    leaf_size: int = DEFAULT_LEAF_SIZE,
+    eta: float = DEFAULT_ETA,
+    seed: int = 1,
+    length_scale: float = 0.2,
+) -> Problem:
+    """3D exponential-covariance problem of Section V-A (Eq. 8)."""
+    points = uniform_cube_points(n, dim=3, seed=seed)
+    tree = ClusterTree.build(points, leaf_size=leaf_size)
+    partition = build_block_partition(tree, GeneralAdmissibility(eta=eta))
+    dense = ExponentialKernel(length_scale).matrix(tree.points)
+    return Problem(
+        name="covariance",
+        n=n,
+        tree=tree,
+        partition=partition,
+        dense=dense,
+        operator=DenseOperator(dense),
+        extractor=DenseEntryExtractor(dense),
+    )
+
+
+def make_ie_problem(
+    n: int,
+    leaf_size: int = DEFAULT_LEAF_SIZE,
+    eta: float = DEFAULT_ETA,
+    seed: int = 2,
+    wavenumber: float = 3.0,
+) -> Problem:
+    """3D Helmholtz volume-IE problem of Section V-A (Eq. 9)."""
+    points = uniform_cube_points(n, dim=3, seed=seed)
+    tree = ClusterTree.build(points, leaf_size=leaf_size)
+    partition = build_block_partition(tree, GeneralAdmissibility(eta=eta))
+    dense = HelmholtzKernel(wavenumber=wavenumber, diagonal_value=0.0).matrix(tree.points)
+    return Problem(
+        name="ie",
+        n=n,
+        tree=tree,
+        partition=partition,
+        dense=dense,
+        operator=DenseOperator(dense),
+        extractor=DenseEntryExtractor(dense),
+    )
+
+
+def construct_h2(
+    problem: Problem,
+    backend: str = "vectorized",
+    tolerance: float = DEFAULT_TOLERANCE,
+    sample_block_size: int = DEFAULT_SAMPLE_BLOCK,
+    adaptive: bool = True,
+    initial_samples: int | None = None,
+    seed: int = 7,
+):
+    """Run the bottom-up constructor on a benchmark problem."""
+    config = ConstructionConfig(
+        tolerance=tolerance,
+        sample_block_size=sample_block_size,
+        adaptive=adaptive,
+        initial_samples=initial_samples,
+        backend=backend,
+    )
+    constructor = H2Constructor(
+        problem.partition, problem.fresh_operator(), problem.extractor, config, seed=seed
+    )
+    return constructor.construct()
+
+
+def measured_error(result, problem: Problem) -> float:
+    """Relative spectral-norm error against the dense reference (power method)."""
+    from repro.diagnostics import construction_error
+
+    return construction_error(result.matrix, problem.fresh_operator(), num_iterations=8, seed=3)
+
+
+def speedup_table(times: Dict[str, float]) -> Dict[str, float]:
+    """Speedups of every entry relative to the slowest entry."""
+    worst = max(times.values())
+    return {name: worst / value if value > 0 else float("inf") for name, value in times.items()}
+
+
+_PROBLEM_CACHE: Dict[tuple, Problem] = {}
+
+
+def cached_problem(kind: str, n: int, **kwargs) -> Problem:
+    """Memoise dense problem construction across benchmarks within one session."""
+    key = (kind, n, tuple(sorted(kwargs.items())))
+    if key not in _PROBLEM_CACHE:
+        factory = make_covariance_problem if kind == "covariance" else make_ie_problem
+        _PROBLEM_CACHE[key] = factory(n, **kwargs)
+    return _PROBLEM_CACHE[key]

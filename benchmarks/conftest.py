@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+All benchmarks run a single round (``pedantic(rounds=1)``): every benchmark is
+a full construction sweep whose interesting output is the printed paper-style
+table, not a micro-benchmark statistic.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `common` helper importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` works in fully offline environments where
+the ``wheel`` package (needed by the PEP 517 editable path) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

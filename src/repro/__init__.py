@@ -1,0 +1,172 @@
+"""repro — Adaptive sketching-based bottom-up construction of H2 matrices.
+
+A pure-Python/NumPy reproduction of
+
+    W. H. Boukaram, Y. Liu, P. Ghysels, X. S. Li,
+    "Adaptive Sketching Based Construction of H2 Matrices on GPUs",
+    IPDPS 2025 (arXiv:2506.16759),
+
+including the cluster-tree / block-partition substrate, kernel matrices, a
+batched (GPU-style) execution engine, the bottom-up sketching construction
+algorithm (fixed-sample and adaptive), H2 arithmetic (matvec, entry
+extraction, memory accounting), low-rank update recompression, the top-down
+peeling and sketched H-matrix baselines, and a multifrontal frontal-matrix
+substrate for the weak-admissibility comparisons.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (ClusterTree, GeneralAdmissibility, build_block_partition,
+...                    ExponentialKernel, KernelMatVecOperator, KernelEntryExtractor,
+...                    H2Constructor, ConstructionConfig, uniform_cube_points)
+>>> points = uniform_cube_points(2048, seed=0)
+>>> tree = ClusterTree.build(points, leaf_size=64)
+>>> partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+>>> kernel = ExponentialKernel(length_scale=0.2)
+>>> operator = KernelMatVecOperator(kernel, tree.points)
+>>> extractor = KernelEntryExtractor(kernel, tree.points)
+>>> result = H2Constructor(partition, operator, extractor,
+...                        ConstructionConfig(tolerance=1e-6)).construct()
+>>> h2 = result.matrix          # H2 matrix: h2.matvec(x), h2.memory_bytes(), ...
+"""
+
+from .batched import (
+    BatchedBackend,
+    BlockSparseRowMatrix,
+    KernelLaunchCounter,
+    SerialBackend,
+    VariableBatch,
+    VectorizedBackend,
+    get_backend,
+)
+from .core import (
+    ConstructionConfig,
+    ConstructionResult,
+    H2Constructor,
+    recompress_h2,
+)
+from .diagnostics import (
+    construction_error,
+    memory_report,
+    phase_breakdown,
+)
+from .geometry import (
+    BoundingBox,
+    grid_points,
+    plane_points,
+    random_sphere_points,
+    uniform_cube_points,
+)
+from .hmatrix import (
+    BasisTree,
+    H2Matrix,
+    HMatrix,
+    HODLRMatrix,
+    build_hodlr,
+    build_hss,
+)
+from .kernels import (
+    ExponentialKernel,
+    GaussianKernel,
+    HelmholtzKernel,
+    KernelFunction,
+    LaplaceKernel,
+    Matern32Kernel,
+    Matern52Kernel,
+)
+from .linalg import (
+    LowRankMatrix,
+    estimate_relative_error,
+    estimate_spectral_norm,
+    random_low_rank,
+    row_id,
+)
+from .sketching import (
+    DenseEntryExtractor,
+    DenseOperator,
+    EntryExtractor,
+    H2EntryExtractor,
+    H2Operator,
+    KernelEntryExtractor,
+    KernelMatVecOperator,
+    LowRankEntryExtractor,
+    LowRankOperator,
+    SketchingOperator,
+    SumEntryExtractor,
+    SumOperator,
+)
+from .tree import (
+    BlockPartition,
+    ClusterTree,
+    GeneralAdmissibility,
+    WeakAdmissibility,
+    build_block_partition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # tree / geometry
+    "ClusterTree",
+    "GeneralAdmissibility",
+    "WeakAdmissibility",
+    "BlockPartition",
+    "build_block_partition",
+    "BoundingBox",
+    "uniform_cube_points",
+    "grid_points",
+    "plane_points",
+    "random_sphere_points",
+    # kernels
+    "KernelFunction",
+    "ExponentialKernel",
+    "GaussianKernel",
+    "Matern32Kernel",
+    "Matern52Kernel",
+    "HelmholtzKernel",
+    "LaplaceKernel",
+    # linalg
+    "LowRankMatrix",
+    "random_low_rank",
+    "row_id",
+    "estimate_spectral_norm",
+    "estimate_relative_error",
+    # batched engine
+    "BatchedBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "get_backend",
+    "VariableBatch",
+    "BlockSparseRowMatrix",
+    "KernelLaunchCounter",
+    # sketching interfaces
+    "SketchingOperator",
+    "DenseOperator",
+    "KernelMatVecOperator",
+    "H2Operator",
+    "LowRankOperator",
+    "SumOperator",
+    "EntryExtractor",
+    "DenseEntryExtractor",
+    "KernelEntryExtractor",
+    "H2EntryExtractor",
+    "LowRankEntryExtractor",
+    "SumEntryExtractor",
+    # hierarchical formats
+    "BasisTree",
+    "H2Matrix",
+    "HMatrix",
+    "HODLRMatrix",
+    "build_hodlr",
+    "build_hss",
+    # core algorithm
+    "H2Constructor",
+    "ConstructionConfig",
+    "ConstructionResult",
+    "recompress_h2",
+    # diagnostics
+    "construction_error",
+    "memory_report",
+    "phase_breakdown",
+]

@@ -1,0 +1,21 @@
+"""Comparator algorithms the paper evaluates against.
+
+* :class:`TopDownPeelingConstructor` — the top-down peeling construction of
+  Lin, Lu & Ying (2011) through a weak-admissibility (HODLR) intermediate, the
+  algorithm implemented on GPUs by H2Opus.  Its sample count grows with the
+  HODLR ranks (large for 3D geometries) and with log N, which is the source of
+  the orders-of-magnitude runtime gap in Fig. 5.
+* :class:`HMatrixSketchingConstructor` — a colored-probing sketching
+  construction of a non-nested H matrix in the spirit of Levitt & Martinsson
+  (2022) as implemented in ButterflyPACK, requiring O(Csp · r · log N) samples.
+"""
+
+from .topdown_peeling import PeelingResult, TopDownPeelingConstructor
+from .hmatrix_sketch import HMatrixSketchResult, HMatrixSketchingConstructor
+
+__all__ = [
+    "TopDownPeelingConstructor",
+    "PeelingResult",
+    "HMatrixSketchingConstructor",
+    "HMatrixSketchResult",
+]

@@ -1,0 +1,37 @@
+"""Batched execution engine over variable-size matrix batches.
+
+This package is the reproduction's stand-in for the paper's GPU layer
+(Thrust marshaling + KBLAS/MAGMA batched kernels).  Operations on all nodes
+of a tree level are expressed as *batched primitives* over variable-size
+matrices; two backends execute them:
+
+* :class:`SerialBackend` — one plain NumPy call per matrix, the analogue of
+  the paper's CPU implementation (OpenMP loop around single-threaded BLAS);
+* :class:`VectorizedBackend` — matrices are grouped by shape and each group is
+  executed with a single stacked (batched) NumPy/BLAS call, the analogue of a
+  single GPU kernel launch per shape group.
+
+Kernel-launch counting (:class:`KernelLaunchCounter`) exposes how many batched
+dispatches a construction needed, reproducing the paper's O(log N) launch-count
+argument (Section IV-B).
+"""
+
+from .backend import (
+    BatchedBackend,
+    SerialBackend,
+    VectorizedBackend,
+    get_backend,
+)
+from .bsr import BlockSparseRowMatrix
+from .counters import KernelLaunchCounter
+from .variable_batch import VariableBatch
+
+__all__ = [
+    "BatchedBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "get_backend",
+    "BlockSparseRowMatrix",
+    "KernelLaunchCounter",
+    "VariableBatch",
+]

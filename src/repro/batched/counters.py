@@ -1,0 +1,68 @@
+"""Kernel-launch counting instrumentation.
+
+On a GPU, every batched primitive dispatch corresponds to a kernel launch with
+a fixed overhead; the paper argues its algorithm needs only O(log N) launches
+because all per-node work of a level is fused into a constant number of
+batched calls.  :class:`KernelLaunchCounter` records one "launch" for every
+batched dispatch issued by a backend (per shape group for the vectorized
+backend), letting the benchmark harness verify the O(log N) behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class KernelLaunchCounter:
+    """Counts batched-primitive dispatches, grouped by operation name.
+
+    Two granularities are tracked:
+
+    * ``counts`` — *launches*: one per shape group dispatched by the backend
+      (what a GPU would see as kernel launches);
+    * ``calls`` — *batched-primitive invocations*: one per call into the
+      backend regardless of how many shape groups it splits into.  This is the
+      quantity the paper's O(log N) launch argument refers to (a constant
+      number of batched operations per level).
+    """
+
+    counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    calls: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, operation: str, launches: int = 1) -> None:
+        """Record one batched-primitive call dispatching ``launches`` launches."""
+        if launches < 0:
+            raise ValueError("launches must be non-negative")
+        self.counts[operation] += int(launches)
+        self.calls[operation] += 1
+
+    def total(self) -> int:
+        """Total number of recorded launches across all operations."""
+        return int(sum(self.counts.values()))
+
+    def total_calls(self) -> int:
+        """Total number of batched-primitive invocations."""
+        return int(sum(self.calls.values()))
+
+    def by_operation(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def calls_by_operation(self) -> Dict[str, int]:
+        return dict(self.calls)
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.calls.clear()
+
+    def merge(self, other: "KernelLaunchCounter") -> None:
+        for op, n in other.counts.items():
+            self.counts[op] += n
+        for op, n in other.calls.items():
+            self.calls[op] += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        parts = ", ".join(f"{op}={n}" for op, n in sorted(self.counts.items()))
+        return f"KernelLaunchCounter(total={self.total()}, {parts})"

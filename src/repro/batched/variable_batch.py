@@ -1,0 +1,99 @@
+"""A batch of variable-size matrices backed by one flat allocation.
+
+The GPU implementation avoids per-block allocations: the total workspace for a
+level is computed with a prefix sum over the block dimensions and allocated in
+a single call, and every block is a view into that flat buffer.
+:class:`VariableBatch` reproduces this layout in NumPy; indexing returns a
+reshaped *view*, so writing through a block mutates the shared buffer exactly
+as a GPU kernel writing through a marshaled pointer array would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from ..utils.prefix_sum import offsets_from_sizes
+
+
+class VariableBatch:
+    """A sequence of 2-D matrices with possibly different shapes in one buffer."""
+
+    def __init__(self, rows: Sequence[int], cols: Sequence[int], data: np.ndarray | None = None):
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        if self.rows.shape != self.cols.shape or self.rows.ndim != 1:
+            raise ValueError("rows and cols must be 1-D arrays of equal length")
+        if np.any(self.rows < 0) or np.any(self.cols < 0):
+            raise ValueError("matrix dimensions must be non-negative")
+        sizes = self.rows * self.cols
+        self.offsets, total = offsets_from_sizes(sizes) if len(sizes) else (np.zeros(0, np.int64), 0)
+        if data is None:
+            self.data = np.zeros(total, dtype=np.float64)
+        else:
+            data = np.asarray(data, dtype=np.float64).reshape(-1)
+            if data.shape[0] != total:
+                raise ValueError(
+                    f"flat buffer has {data.shape[0]} elements, layout requires {total}"
+                )
+            self.data = data
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_shapes(cls, shapes: Iterable[tuple[int, int]]) -> "VariableBatch":
+        """Allocate a zero-initialised batch for the given ``(rows, cols)`` shapes."""
+        shapes = list(shapes)
+        rows = [s[0] for s in shapes]
+        cols = [s[1] for s in shapes]
+        return cls(rows, cols)
+
+    @classmethod
+    def from_matrices(cls, matrices: Sequence[np.ndarray]) -> "VariableBatch":
+        """Copy a list of matrices into a freshly allocated flat batch."""
+        mats = [np.atleast_2d(np.asarray(m, dtype=np.float64)) for m in matrices]
+        batch = cls.from_shapes([m.shape for m in mats])
+        for i, m in enumerate(mats):
+            batch[i][...] = m
+        return batch
+
+    # ------------------------------------------------------------------ access
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    @property
+    def total_elements(self) -> int:
+        return int(self.data.shape[0])
+
+    def shape(self, i: int) -> tuple[int, int]:
+        return (int(self.rows[i]), int(self.cols[i]))
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        r, c = int(self.rows[i]), int(self.cols[i])
+        off = int(self.offsets[i])
+        return self.data[off : off + r * c].reshape(r, c)
+
+    def __setitem__(self, i: int, value: np.ndarray) -> None:
+        block = self[i]
+        block[...] = np.asarray(value, dtype=np.float64).reshape(block.shape)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def to_list(self) -> List[np.ndarray]:
+        """Copy every block out into an independent list of arrays."""
+        return [self[i].copy() for i in range(len(self))]
+
+    def memory_bytes(self) -> int:
+        """Bytes occupied by the flat buffer (excluding the small offset arrays)."""
+        return int(self.data.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"VariableBatch(count={len(self)}, total_elements={self.total_elements})"
+        )

@@ -1,0 +1,610 @@
+"""Bottom-up adaptive sketching construction of H2 matrices (Algorithm 1).
+
+The constructor takes a block partition (cluster tree + admissibility), a
+black-box sketching operator ``Kblk`` and an entry-evaluation function, and
+produces an :class:`~repro.hmatrix.h2matrix.H2Matrix`.  Processing proceeds
+level by level from the leaves upward; every step over the nodes of a level is
+expressed through the batched primitives of :mod:`repro.batched`
+(``batchedRand`` / ``batchedGen`` / ``batchedBSRGemm`` / ``batchedQR`` /
+``batchedID`` / ``batchedGemm`` / ``batchedShrink`` in the paper's
+annotations), so the same code runs on the serial ("CPU") and the vectorized
+shape-grouped ("GPU") backend.
+
+Outline (symmetric matrix, permuted ordering):
+
+* draw ``Omega`` and sketch ``Y = Kblk(Omega)``;
+* **leaf level** — evaluate the dense neighbour blocks ``D``, subtract their
+  contribution from the sketch (non-uniform BSR product), adaptively add
+  sample blocks until every leaf's local sketch is numerically rank deficient,
+  run a batched row ID to obtain the leaf bases ``U`` and skeleton indices,
+  restrict the sketch to the skeleton rows and project the random inputs;
+* **inner levels** — merge the children's skeletonised sketches, subtract the
+  contribution of the children's coupling blocks, adapt/ID as above to obtain
+  the transfer matrices ``E`` and the level's skeletons;
+* at every level evaluate the coupling blocks ``B`` at the skeleton indices.
+
+Adaptive sampling follows Section III-B: freshly drawn sample blocks are swept
+from the leaves up to the current level by replaying the already-computed
+skeletonizations (``updateSamples``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..batched.backend import BatchedBackend, get_backend
+from ..batched.bsr import BlockSparseRowMatrix
+from ..batched.counters import KernelLaunchCounter
+from ..hmatrix.basis_tree import BasisTree
+from ..hmatrix.h2matrix import H2Matrix
+from ..sketching.entry_extractor import EntryExtractor
+from ..sketching.operators import SketchingOperator
+from ..tree.block_partition import BlockPartition
+from ..utils.rng import SeedLike, as_generator
+from ..utils.timing import PhaseTimer
+from .config import ConstructionConfig
+from .convergence import ConvergenceTester
+from .skeleton_store import NodeSkeleton, SkeletonStore
+
+
+@dataclass
+class LevelReport:
+    """Per-level construction statistics."""
+
+    depth: int
+    num_nodes: int
+    samples_used: int
+    sampling_rounds: int
+    max_rank: int
+    min_rank: int
+    converged: bool
+
+
+@dataclass
+class ConstructionResult:
+    """Outcome of a construction: the H2 matrix plus performance metadata."""
+
+    matrix: H2Matrix
+    config: ConstructionConfig
+    total_samples: int
+    operator_applications: int
+    entries_evaluated: int
+    elapsed_seconds: float
+    phase_seconds: Dict[str, float]
+    kernel_launches: Dict[str, int]
+    total_kernel_launches: int
+    kernel_calls: Dict[str, int]
+    total_kernel_calls: int
+    norm_estimate: float
+    converged: bool
+    levels: List[LevelReport] = field(default_factory=list)
+
+    @property
+    def rank_range(self) -> Tuple[int, int]:
+        return self.matrix.rank_range()
+
+    def memory_mb(self) -> float:
+        return self.matrix.total_memory_mb()
+
+    def summary(self) -> Dict[str, object]:
+        lo, hi = self.rank_range
+        return {
+            "n": self.matrix.num_rows,
+            "time_s": self.elapsed_seconds,
+            "total_samples": self.total_samples,
+            "rank_range": f"{lo}-{hi}",
+            "memory_mb": self.memory_mb(),
+            "kernel_launches": self.total_kernel_launches,
+            "converged": self.converged,
+        }
+
+
+class H2Constructor:
+    """Adaptive sketching-based bottom-up H2 constructor (Algorithm 1)."""
+
+    def __init__(
+        self,
+        partition: BlockPartition,
+        operator: SketchingOperator,
+        extractor: EntryExtractor,
+        config: ConstructionConfig | None = None,
+        seed: SeedLike = None,
+    ):
+        self.partition = partition
+        self.tree = partition.tree
+        self.operator = operator
+        self.extractor = extractor
+        self.config = config if config is not None else ConstructionConfig()
+        self.rng = as_generator(seed)
+
+        n = self.tree.num_points
+        if operator.n != n or extractor.n != n:
+            raise ValueError(
+                "operator, extractor and cluster tree must agree on the matrix "
+                f"dimension (tree: {n}, operator: {operator.n}, extractor: {extractor.n})"
+            )
+
+        counter = KernelLaunchCounter()
+        self.backend: BatchedBackend = get_backend(self.config.backend, counter=counter)
+        self.counter = self.backend.counter
+        self.timer = PhaseTimer()
+
+        # Construction state (populated by :meth:`construct`).
+        self.skeletons = SkeletonStore()
+        self.basis = BasisTree(tree=self.tree)
+        self.dense_blocks: Dict[Tuple[int, int], np.ndarray] = {}
+        self.couplings: Dict[Tuple[int, int], np.ndarray] = {}
+        self._sample_draws = 0
+        self._total_samples = 0
+
+    # ------------------------------------------------------------------ public
+    def construct(self) -> ConstructionResult:
+        """Run Algorithm 1 and return the constructed H2 matrix with statistics."""
+        start = time.perf_counter()
+        self.operator.reset_statistics()
+        self.extractor.entries_evaluated = 0
+
+        tree = self.tree
+        n = tree.num_points
+        leaf_depth = tree.depth
+
+        with self.timer.phase("misc"):
+            min_depth = self._min_admissible_depth()
+            tester = self._build_convergence_tester()
+
+        # Dense (inadmissible leaf) blocks are always required.
+        self._extract_dense_blocks()
+
+        levels: List[LevelReport] = []
+        all_converged = True
+
+        if min_depth is not None:
+            d0 = min(self.config.effective_initial_samples, n)
+            omega, y = self._draw_samples(d0)
+
+            y_next: Dict[int, np.ndarray] = {}
+            omega_next: Dict[int, np.ndarray] = {}
+
+            for depth in range(leaf_depth, min_depth - 1, -1):
+                if depth == leaf_depth:
+                    report, y_next, omega_next = self._process_leaf_level(
+                        omega, y, tester
+                    )
+                else:
+                    report, y_next, omega_next = self._process_inner_level(
+                        depth, y_next, omega_next, tester
+                    )
+                levels.append(report)
+                all_converged = all_converged and report.converged
+                self._extract_couplings(depth)
+
+        matrix = H2Matrix(
+            tree=tree,
+            partition=self.partition,
+            basis=self.basis,
+            coupling=self.couplings,
+            dense=self.dense_blocks,
+        )
+        elapsed = time.perf_counter() - start
+        return ConstructionResult(
+            matrix=matrix,
+            config=self.config,
+            total_samples=self._total_samples,
+            operator_applications=self.operator.applications,
+            entries_evaluated=self.extractor.entries_evaluated,
+            elapsed_seconds=elapsed,
+            phase_seconds=self.timer.as_dict(),
+            kernel_launches=self.counter.by_operation(),
+            total_kernel_launches=self.counter.total(),
+            kernel_calls=self.counter.calls_by_operation(),
+            total_kernel_calls=self.counter.total_calls(),
+            norm_estimate=self._norm_estimate,
+            converged=all_converged,
+            levels=levels,
+        )
+
+    # --------------------------------------------------------------- internals
+    def _min_admissible_depth(self) -> Optional[int]:
+        """Shallowest tree depth carrying admissible blocks (None if fully dense)."""
+        for depth in range(self.tree.num_levels):
+            if self.partition.num_admissible_blocks_at_level(depth) > 0:
+                return depth
+        return None
+
+    def _build_convergence_tester(self) -> ConvergenceTester:
+        cfg = self.config
+        need_norm = cfg.adaptive or cfg.id_tolerance_mode == "absolute"
+        if need_norm:
+            tester = ConvergenceTester.from_operator(
+                self.operator,
+                cfg.tolerance,
+                num_iterations=cfg.norm_estimation_iterations,
+                safety_factor=cfg.convergence_safety_factor,
+                seed=self.rng,
+            )
+            self._norm_estimate = tester.absolute_threshold / (
+                cfg.tolerance * cfg.convergence_safety_factor
+            )
+        else:
+            tester = ConvergenceTester(absolute_threshold=0.0)
+            self._norm_estimate = 0.0
+        return tester
+
+    def _id_tolerances(self, count: int) -> Tuple[Optional[float], Optional[Sequence[float]]]:
+        """Relative/absolute tolerances handed to the batched row ID."""
+        cfg = self.config
+        if cfg.id_tolerance_mode == "absolute":
+            return None, [cfg.tolerance * self._norm_estimate] * count
+        return cfg.tolerance, None
+
+    def _draw_samples(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` fresh random vectors and sketch them through the operator."""
+        n = self.tree.num_points
+        with self.timer.phase("sampling"):
+            batch = self.backend.batched_random_normal([(n, count)], seed=self.rng)
+            omega = batch[0]
+            y = self.operator.multiply(omega)
+        self._sample_draws += 1
+        self._total_samples += count
+        return omega, y
+
+    def _samples_exhausted(self) -> bool:
+        cap = self.config.max_samples
+        limit = self.tree.num_points if cap is None else min(cap, self.tree.num_points)
+        return self._total_samples >= limit
+
+    # ------------------------------------------------------------ entry blocks
+    def _extract_dense_blocks(self) -> None:
+        """Evaluate every inadmissible leaf block (``batchedGen`` at the leaf level)."""
+        tree = self.tree
+        requests = []
+        keys = []
+        for tau in tree.leaves():
+            rows = tree.index_set(tau)
+            for b in self.partition.near(tau):
+                requests.append((rows, tree.index_set(b)))
+                keys.append((tau, b))
+        if not requests:
+            return
+        with self.timer.phase("entry_generation"):
+            blocks = self.extractor.extract_blocks(requests, counter=self.counter)
+        for key, block in zip(keys, blocks):
+            self.dense_blocks[key] = block
+
+    def _extract_couplings(self, depth: int) -> None:
+        """Evaluate the coupling blocks ``B_{tau,b}`` of all nodes at ``depth``."""
+        requests = []
+        keys = []
+        for tau in self.tree.nodes_at_level(depth):
+            far = self.partition.far(tau)
+            if not far or tau not in self.skeletons:
+                continue
+            rows = self.skeletons.skeleton_global(tau)
+            for b in far:
+                if b not in self.skeletons:
+                    continue
+                requests.append((rows, self.skeletons.skeleton_global(b)))
+                keys.append((tau, b))
+        if not requests:
+            return
+        with self.timer.phase("entry_generation"):
+            blocks = self.extractor.extract_blocks(requests, counter=self.counter)
+        for key, block in zip(keys, blocks):
+            self.couplings[key] = block
+
+    # ------------------------------------------------------------- leaf level
+    def _process_leaf_level(
+        self,
+        omega: np.ndarray,
+        y: np.ndarray,
+        tester: ConvergenceTester,
+    ) -> Tuple[LevelReport, Dict[int, np.ndarray], Dict[int, np.ndarray]]:
+        tree = self.tree
+        nodes = list(tree.leaves())
+        node_pos = {node: i for i, node in enumerate(nodes)}
+
+        # Marshal the per-node slices of the global sketch.
+        with self.timer.phase("shrink_upsweep"):
+            omega_loc = [
+                np.ascontiguousarray(omega[tree.starts[t] : tree.ends[t]]) for t in nodes
+            ]
+            y_loc = [y[tree.starts[t] : tree.ends[t]].copy() for t in nodes]
+
+        # Subtract the dense-neighbour contribution (batched BSR product).
+        bsr = self._leaf_bsr(nodes, node_pos)
+        with self.timer.phase("bsr_gemm"):
+            bsr.multiply_accumulate(y_loc, omega_loc, self.backend, alpha=-1.0)
+
+        rounds = 1
+        converged = True
+        if self.config.adaptive:
+            converged, rounds = self._adapt_level(
+                depth=tree.depth,
+                nodes=nodes,
+                node_pos=node_pos,
+                y_loc=y_loc,
+                omega_loc=omega_loc,
+                coupling_bsr=bsr,
+                tester=tester,
+            )
+
+        # Batched row ID -> leaf bases U_tau and skeleton indices.
+        rel_tol, abs_tols = self._id_tolerances(len(nodes))
+        with self.timer.phase("id"):
+            decompositions = self.backend.batched_row_id(
+                y_loc, rel_tol=rel_tol, abs_tols=abs_tols, max_rank=self.config.max_rank
+            )
+
+        y_next: Dict[int, np.ndarray] = {}
+        omega_next: Dict[int, np.ndarray] = {}
+        with self.timer.phase("shrink_upsweep"):
+            interp = [dec.interpolation for dec in decompositions]
+            upswept = self.backend.batched_gemm(interp, omega_loc, transpose_a=True)
+            for i, (tau, dec) in enumerate(zip(nodes, decompositions)):
+                index_set = tree.index_set(tau)
+                record = NodeSkeleton(
+                    node=tau,
+                    skeleton_local=dec.skeleton,
+                    skeleton_global=index_set[dec.skeleton],
+                    interpolation=dec.interpolation,
+                    is_leaf=True,
+                )
+                self.skeletons.add(record)
+                self.basis.set_leaf_basis(tau, dec.interpolation)
+                y_next[tau] = y_loc[i][dec.skeleton]
+                omega_next[tau] = upswept[i]
+
+        ranks = [self.skeletons.rank(tau) for tau in nodes]
+        report = LevelReport(
+            depth=tree.depth,
+            num_nodes=len(nodes),
+            samples_used=self._total_samples,
+            sampling_rounds=rounds,
+            max_rank=max(ranks) if ranks else 0,
+            min_rank=min(ranks) if ranks else 0,
+            converged=converged,
+        )
+        return report, y_next, omega_next
+
+    def _leaf_bsr(
+        self, nodes: List[int], node_pos: Dict[int, int]
+    ) -> BlockSparseRowMatrix:
+        bsr = BlockSparseRowMatrix(num_block_rows=len(nodes))
+        for i, tau in enumerate(nodes):
+            for b in self.partition.near(tau):
+                bsr.add_block(i, node_pos[b], self.dense_blocks[(tau, b)])
+        return bsr
+
+    # ------------------------------------------------------------ inner levels
+    def _process_inner_level(
+        self,
+        depth: int,
+        child_y_next: Dict[int, np.ndarray],
+        child_omega_next: Dict[int, np.ndarray],
+        tester: ConvergenceTester,
+    ) -> Tuple[LevelReport, Dict[int, np.ndarray], Dict[int, np.ndarray]]:
+        tree = self.tree
+        nodes = list(tree.nodes_at_level(depth))
+        child_nodes = list(tree.nodes_at_level(depth + 1))
+        child_pos = {node: i for i, node in enumerate(child_nodes)}
+
+        # Subtract the children's coupling contribution from their skeletonised
+        # sketches (batched BSR product over the children level), then merge
+        # sibling pairs into the parent's sample block.
+        with self.timer.phase("shrink_upsweep"):
+            child_loc = [child_y_next[nu].copy() for nu in child_nodes]
+            child_inputs = [child_omega_next[nu] for nu in child_nodes]
+        coupling_bsr = self._coupling_bsr(child_nodes, child_pos)
+        with self.timer.phase("bsr_gemm"):
+            coupling_bsr.multiply_accumulate(
+                child_loc, child_inputs, self.backend, alpha=-1.0
+            )
+
+        with self.timer.phase("shrink_upsweep"):
+            y_loc: List[np.ndarray] = []
+            omega_loc: List[np.ndarray] = []
+            merged_indices: List[np.ndarray] = []
+            for tau in nodes:
+                nu1, nu2 = tree.children(tau)
+                y_loc.append(
+                    np.vstack([child_loc[child_pos[nu1]], child_loc[child_pos[nu2]]])
+                )
+                omega_loc.append(
+                    np.vstack(
+                        [child_omega_next[nu1], child_omega_next[nu2]]
+                    )
+                )
+                merged_indices.append(
+                    np.concatenate(
+                        [
+                            self.skeletons.skeleton_global(nu1),
+                            self.skeletons.skeleton_global(nu2),
+                        ]
+                    )
+                )
+
+        rounds = 1
+        converged = True
+        if self.config.adaptive:
+            converged, rounds = self._adapt_level(
+                depth=depth,
+                nodes=nodes,
+                node_pos={node: i for i, node in enumerate(nodes)},
+                y_loc=y_loc,
+                omega_loc=omega_loc,
+                coupling_bsr=None,
+                tester=tester,
+            )
+
+        rel_tol, abs_tols = self._id_tolerances(len(nodes))
+        with self.timer.phase("id"):
+            decompositions = self.backend.batched_row_id(
+                y_loc, rel_tol=rel_tol, abs_tols=abs_tols, max_rank=self.config.max_rank
+            )
+
+        y_next: Dict[int, np.ndarray] = {}
+        omega_next: Dict[int, np.ndarray] = {}
+        with self.timer.phase("shrink_upsweep"):
+            interp = [dec.interpolation for dec in decompositions]
+            upswept = self.backend.batched_gemm(interp, omega_loc, transpose_a=True)
+            for i, (tau, dec) in enumerate(zip(nodes, decompositions)):
+                nu1, nu2 = tree.children(tau)
+                rank1 = self.skeletons.rank(nu1)
+                transfer = dec.interpolation
+                self.basis.set_rank(tau, dec.rank)
+                self.basis.set_transfer(nu1, transfer[:rank1])
+                self.basis.set_transfer(nu2, transfer[rank1:])
+                record = NodeSkeleton(
+                    node=tau,
+                    skeleton_local=dec.skeleton,
+                    skeleton_global=merged_indices[i][dec.skeleton],
+                    interpolation=transfer,
+                    is_leaf=False,
+                )
+                self.skeletons.add(record)
+                y_next[tau] = y_loc[i][dec.skeleton]
+                omega_next[tau] = upswept[i]
+
+        ranks = [self.skeletons.rank(tau) for tau in nodes]
+        report = LevelReport(
+            depth=depth,
+            num_nodes=len(nodes),
+            samples_used=self._total_samples,
+            sampling_rounds=rounds,
+            max_rank=max(ranks) if ranks else 0,
+            min_rank=min(ranks) if ranks else 0,
+            converged=converged,
+        )
+        return report, y_next, omega_next
+
+    def _coupling_bsr(
+        self, child_nodes: List[int], child_pos: Dict[int, int]
+    ) -> BlockSparseRowMatrix:
+        """Block-sparse matrix of the children's coupling blocks ``B_{nu,b}``."""
+        bsr = BlockSparseRowMatrix(num_block_rows=len(child_nodes))
+        for i, nu in enumerate(child_nodes):
+            for b in self.partition.far(nu):
+                block = self.couplings.get((nu, b))
+                if block is not None and block.size:
+                    bsr.add_block(i, child_pos[b], block)
+        return bsr
+
+    # -------------------------------------------------------- adaptive sampling
+    def _adapt_level(
+        self,
+        depth: int,
+        nodes: List[int],
+        node_pos: Dict[int, int],
+        y_loc: List[np.ndarray],
+        omega_loc: List[np.ndarray],
+        coupling_bsr: Optional[BlockSparseRowMatrix],
+        tester: ConvergenceTester,
+    ) -> Tuple[bool, int]:
+        """Add sample blocks until every node of the level converges.
+
+        ``coupling_bsr`` is the leaf level's dense-block BSR (reused to subtract
+        the dense contribution from freshly drawn samples); inner levels pass
+        ``None`` because the sweep handles the subtraction internally.
+
+        Returns ``(converged, sampling_rounds)``.
+        """
+        rounds = 1
+        while True:
+            with self.timer.phase("convergence"):
+                mask = tester.converged_mask(y_loc, self.backend)
+            if bool(np.all(mask)):
+                return True, rounds
+            if self._samples_exhausted():
+                return False, rounds
+
+            block = min(
+                self.config.sample_block_size,
+                max(self.tree.num_points - self._total_samples, 0),
+            )
+            if block <= 0:
+                return False, rounds
+            new_omega, new_y = self._draw_samples(block)
+            new_omega_map, new_y_map = self._sweep_new_samples(new_omega, new_y, depth)
+            with self.timer.phase("shrink_upsweep"):
+                for i, tau in enumerate(nodes):
+                    y_loc[i] = np.hstack([y_loc[i], new_y_map[tau]])
+                    omega_loc[i] = np.hstack([omega_loc[i], new_omega_map[tau]])
+            rounds += 1
+
+    def _sweep_new_samples(
+        self, new_omega: np.ndarray, new_y: np.ndarray, to_depth: int
+    ) -> Tuple[Dict[int, np.ndarray], Dict[int, np.ndarray]]:
+        """``updateSamples``: push freshly drawn samples up to ``to_depth``.
+
+        Returns per-node pairs ``(omega, y_loc)`` for the nodes at ``to_depth``,
+        where ``y_loc`` already has the dense/coupling contributions of the
+        levels below subtracted (i.e. it is ready to be appended to the level's
+        working sample blocks).
+        """
+        tree = self.tree
+        leaf_depth = tree.depth
+
+        # Leaf level of the sweep.
+        leaves = list(tree.leaves())
+        leaf_pos = {node: i for i, node in enumerate(leaves)}
+        with self.timer.phase("shrink_upsweep"):
+            omega_cur = [
+                np.ascontiguousarray(new_omega[tree.starts[t] : tree.ends[t]])
+                for t in leaves
+            ]
+            y_cur = [new_y[tree.starts[t] : tree.ends[t]].copy() for t in leaves]
+        dense_bsr = self._leaf_bsr(leaves, leaf_pos)
+        with self.timer.phase("bsr_gemm"):
+            dense_bsr.multiply_accumulate(y_cur, omega_cur, self.backend, alpha=-1.0)
+        if to_depth == leaf_depth:
+            return (
+                {tau: omega_cur[i] for i, tau in enumerate(leaves)},
+                {tau: y_cur[i] for i, tau in enumerate(leaves)},
+            )
+
+        # Apply the leaf skeletons, then walk up level by level.
+        with self.timer.phase("shrink_upsweep"):
+            omega_next = {}
+            y_next = {}
+            for i, tau in enumerate(leaves):
+                record = self.skeletons.get(tau)
+                omega_next[tau] = record.upsweep_inputs(omega_cur[i])
+                y_next[tau] = record.shrink_samples(y_cur[i])
+
+        for depth in range(leaf_depth - 1, to_depth - 1, -1):
+            child_nodes = list(tree.nodes_at_level(depth + 1))
+            child_pos = {node: i for i, node in enumerate(child_nodes)}
+            with self.timer.phase("shrink_upsweep"):
+                child_loc = [y_next[nu].copy() for nu in child_nodes]
+                child_inputs = [omega_next[nu] for nu in child_nodes]
+            coupling_bsr = self._coupling_bsr(child_nodes, child_pos)
+            with self.timer.phase("bsr_gemm"):
+                coupling_bsr.multiply_accumulate(
+                    child_loc, child_inputs, self.backend, alpha=-1.0
+                )
+            with self.timer.phase("shrink_upsweep"):
+                omega_stacked = {}
+                y_stacked = {}
+                for tau in tree.nodes_at_level(depth):
+                    nu1, nu2 = tree.children(tau)
+                    omega_stacked[tau] = np.vstack([omega_next[nu1], omega_next[nu2]])
+                    y_stacked[tau] = np.vstack(
+                        [child_loc[child_pos[nu1]], child_loc[child_pos[nu2]]]
+                    )
+            if depth == to_depth:
+                return omega_stacked, y_stacked
+            with self.timer.phase("shrink_upsweep"):
+                omega_next = {}
+                y_next = {}
+                for tau in tree.nodes_at_level(depth):
+                    record = self.skeletons.get(tau)
+                    omega_next[tau] = record.upsweep_inputs(omega_stacked[tau])
+                    y_next[tau] = record.shrink_samples(y_stacked[tau])
+
+        raise RuntimeError(
+            f"sample sweep did not reach depth {to_depth}; this indicates an internal error"
+        )

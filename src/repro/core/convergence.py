@@ -1,0 +1,61 @@
+"""Adaptive-sampling convergence test (Section III-B).
+
+A node has received enough sample vectors when the QR factorization of its
+local sample block ``Y_loc_tau`` is numerically rank deficient: the smallest
+absolute diagonal entry of ``R`` falls below an absolute threshold
+``eps_abs``.  To honour a *relative* compression tolerance ``eps`` the
+threshold is ``eps * |K|`` where ``|K|`` is a sketched estimate of the matrix
+norm provided by the black-box operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..batched.backend import BatchedBackend
+from ..linalg.norm_estimation import estimate_spectral_norm
+from ..sketching.operators import SketchingOperator
+
+
+@dataclass
+class ConvergenceTester:
+    """Evaluates the per-node convergence criterion of the adaptive construction."""
+
+    absolute_threshold: float
+
+    @classmethod
+    def from_operator(
+        cls,
+        operator: SketchingOperator,
+        tolerance: float,
+        num_iterations: int = 6,
+        safety_factor: float = 1.0,
+        seed=None,
+    ) -> "ConvergenceTester":
+        """Build a tester whose threshold is ``safety * tolerance * ||K||_2``.
+
+        The norm is estimated with a few power iterations through the
+        black-box operator, as suggested in the paper.
+        """
+        norm = estimate_spectral_norm(
+            operator.matvec, operator.n, num_iterations=num_iterations, seed=seed
+        )
+        return cls(absolute_threshold=float(safety_factor * tolerance * max(norm, 0.0)))
+
+    def converged_mask(
+        self, sample_blocks: Sequence[np.ndarray], backend: BatchedBackend
+    ) -> np.ndarray:
+        """Boolean mask of which sample blocks satisfy the convergence criterion."""
+        if not len(sample_blocks):
+            return np.zeros(0, dtype=bool)
+        min_diags = backend.batched_min_r_diag(sample_blocks)
+        return min_diags <= self.absolute_threshold
+
+    def all_converged(
+        self, sample_blocks: Sequence[np.ndarray], backend: BatchedBackend
+    ) -> bool:
+        mask = self.converged_mask(sample_blocks, backend)
+        return bool(np.all(mask))

@@ -1,0 +1,17 @@
+"""Accuracy, memory and profiling diagnostics used by the benchmark harness."""
+
+from .error import construction_error, dense_relative_error
+from .memory import MemoryReport, memory_report
+from .profiling import PhaseBreakdown, phase_breakdown
+from .reporting import format_table, format_series
+
+__all__ = [
+    "construction_error",
+    "dense_relative_error",
+    "MemoryReport",
+    "memory_report",
+    "PhaseBreakdown",
+    "phase_breakdown",
+    "format_table",
+    "format_series",
+]

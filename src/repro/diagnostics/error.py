@@ -1,0 +1,61 @@
+"""Approximation-error measurement.
+
+The paper measures the relative error ``|K_comp - K| / |K|`` with a few power
+iterations on the difference between the constructed hierarchical matrix and
+the black-box sampler.  :func:`construction_error` does exactly that;
+:func:`dense_relative_error` computes the exact spectral/Frobenius error on
+small problems where the dense matrix is available (used by the test-suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hmatrix.h2matrix import H2Matrix
+from ..linalg.norm_estimation import estimate_relative_error
+from ..sketching.operators import SketchingOperator
+from ..utils.rng import SeedLike
+
+
+def construction_error(
+    matrix: H2Matrix,
+    operator: SketchingOperator,
+    num_iterations: int = 10,
+    seed: SeedLike = 0,
+) -> float:
+    """Relative spectral-norm error of ``matrix`` against the black-box ``operator``.
+
+    Both operands act in the permuted ordering; only matrix-vector products are
+    used, so this works at any problem size.
+    """
+
+    def reference(x: np.ndarray) -> np.ndarray:
+        return operator.matvec(x)
+
+    def approx(x: np.ndarray) -> np.ndarray:
+        return matrix.matvec(x, permuted=True)
+
+    return estimate_relative_error(
+        reference, approx, matrix.num_rows, num_iterations=num_iterations, seed=seed
+    )
+
+
+def dense_relative_error(
+    approx_dense: np.ndarray, reference_dense: np.ndarray, norm: str = "fro"
+) -> float:
+    """Exact relative error between two dense matrices (tests / small problems)."""
+    approx_dense = np.asarray(approx_dense, dtype=np.float64)
+    reference_dense = np.asarray(reference_dense, dtype=np.float64)
+    if approx_dense.shape != reference_dense.shape:
+        raise ValueError("matrices must have identical shapes")
+    if norm == "fro":
+        denominator = np.linalg.norm(reference_dense)
+        numerator = np.linalg.norm(approx_dense - reference_dense)
+    elif norm == "2":
+        denominator = np.linalg.norm(reference_dense, 2)
+        numerator = np.linalg.norm(approx_dense - reference_dense, 2)
+    else:
+        raise ValueError("norm must be 'fro' or '2'")
+    if denominator == 0.0:
+        return 0.0 if numerator == 0.0 else np.inf
+    return float(numerator / denominator)

@@ -1,0 +1,46 @@
+"""Memory accounting of hierarchical representations (Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class MemoryReport:
+    """Memory footprint of a hierarchical matrix in convenient units."""
+
+    components_bytes: Dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.components_bytes.get("total", sum(self.components_bytes.values())))
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024.0**2)
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / (1024.0**3)
+
+    def component_mb(self, name: str) -> float:
+        return self.components_bytes.get(name, 0) / (1024.0**2)
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {f"{k}_mb": v / (1024.0**2) for k, v in self.components_bytes.items()}
+        out["total_mb"] = self.total_mb
+        return out
+
+
+def memory_report(matrix) -> MemoryReport:
+    """Build a :class:`MemoryReport` from any object exposing ``memory_bytes()``.
+
+    Works for :class:`~repro.hmatrix.h2matrix.H2Matrix`,
+    :class:`~repro.hmatrix.hodlr.HODLRMatrix` and
+    :class:`~repro.hmatrix.hmatrix.HMatrix`.
+    """
+    components = matrix.memory_bytes()
+    if not isinstance(components, dict):
+        components = {"total": int(components)}
+    return MemoryReport(components_bytes=dict(components))

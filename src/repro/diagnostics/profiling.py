@@ -1,0 +1,62 @@
+"""Construction-phase profiling (Fig. 7).
+
+The paper breaks the construction runtime into sampling, entry generation,
+BSR multiplication, the convergence test, the interpolative decompositions,
+the shrink/upsweep bookkeeping and miscellaneous work, and reports the share
+of each phase on CPU and GPU for growing problem sizes.
+:class:`PhaseBreakdown` converts the phase timers recorded by the constructor
+into that percentage breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+#: Canonical phase ordering used in tables and plots.
+PHASE_ORDER: Sequence[str] = (
+    "sampling",
+    "entry_generation",
+    "bsr_gemm",
+    "convergence",
+    "id",
+    "shrink_upsweep",
+    "misc",
+)
+
+
+@dataclass
+class PhaseBreakdown:
+    """Absolute and relative per-phase times of one construction."""
+
+    seconds: Dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.seconds.values()))
+
+    def percentages(self) -> Dict[str, float]:
+        total = self.total_seconds
+        if total <= 0:
+            return {phase: 0.0 for phase in self.seconds}
+        return {phase: 100.0 * value / total for phase, value in self.seconds.items()}
+
+    def ordered(self) -> Dict[str, float]:
+        """Phase times in the canonical order (missing phases reported as 0)."""
+        out = {phase: self.seconds.get(phase, 0.0) for phase in PHASE_ORDER}
+        for phase, value in self.seconds.items():
+            if phase not in out:
+                out[phase] = value
+        return out
+
+    def ordered_percentages(self) -> Dict[str, float]:
+        total = self.total_seconds
+        ordered = self.ordered()
+        if total <= 0:
+            return {phase: 0.0 for phase in ordered}
+        return {phase: 100.0 * value / total for phase, value in ordered.items()}
+
+
+def phase_breakdown(result) -> PhaseBreakdown:
+    """Build a :class:`PhaseBreakdown` from a ``ConstructionResult``."""
+    return PhaseBreakdown(seconds=dict(result.phase_seconds))

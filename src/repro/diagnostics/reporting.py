@@ -1,0 +1,61 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The benchmark scripts print the same rows/series the paper reports (Fig. 5-7,
+Table II); these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a fixed-width text table."""
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Mapping[object, object]],
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render several series sharing an x-axis as one table.
+
+    ``series`` maps a series name to a mapping of x value -> y value; missing
+    points are rendered as ``-`` (e.g. a baseline that ran out of memory, as
+    H2Opus does for N > 65536 in the paper).
+    """
+    xs = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)

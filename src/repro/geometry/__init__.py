@@ -1,0 +1,17 @@
+"""Point-set generators and bounding-box geometry used by the cluster tree."""
+
+from .bounding_box import BoundingBox
+from .point_cloud import (
+    grid_points,
+    plane_points,
+    random_sphere_points,
+    uniform_cube_points,
+)
+
+__all__ = [
+    "BoundingBox",
+    "uniform_cube_points",
+    "grid_points",
+    "plane_points",
+    "random_sphere_points",
+]

@@ -1,0 +1,69 @@
+"""Point-set generators for the paper's test problems.
+
+The evaluation uses uniform 3D distributions of points in a cube for both the
+covariance (Eq. 8) and Helmholtz volume-IE (Eq. 9) kernels, and planar
+separator point sets for the multifrontal frontal matrices.  All generators
+return ``(n, dim)`` ``float64`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import SeedLike, as_generator
+
+
+def uniform_cube_points(
+    n: int, dim: int = 3, seed: SeedLike = None, side: float = 1.0
+) -> np.ndarray:
+    """``n`` points uniformly distributed in the cube ``[0, side]^dim``.
+
+    This is the point distribution used for the covariance and IE matrices in
+    the paper (Section V-A).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = as_generator(seed)
+    return side * rng.random((n, dim))
+
+
+def grid_points(shape: tuple[int, ...], spacing: float = 1.0) -> np.ndarray:
+    """Points of a regular grid with ``shape[i]`` points along axis ``i``.
+
+    Used for the uniform-grid Poisson discretization feeding the multifrontal
+    frontal-matrix experiments.  Points are ordered lexicographically with the
+    last axis fastest, matching :mod:`repro.multifrontal.poisson`.
+    """
+    if len(shape) == 0 or any(s <= 0 for s in shape):
+        raise ValueError("shape must contain positive extents")
+    axes = [spacing * np.arange(s, dtype=np.float64) for s in shape]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.reshape(-1) for m in mesh], axis=1)
+
+
+def plane_points(
+    nx: int, ny: int, spacing: float = 1.0, z: float = 0.0
+) -> np.ndarray:
+    """A planar ``nx x ny`` grid embedded in 3D at height ``z``.
+
+    Frontal matrices of 3D Poisson problems live on (roughly) planar
+    separators; the H2/HSS/HODLR compressions in Fig. 6(b) cluster the
+    separator degrees of freedom geometrically, which this generator mimics.
+    """
+    pts2d = grid_points((nx, ny), spacing=spacing)
+    return np.column_stack([pts2d, np.full(pts2d.shape[0], z, dtype=np.float64)])
+
+
+def random_sphere_points(n: int, seed: SeedLike = None, radius: float = 1.0) -> np.ndarray:
+    """``n`` points uniformly distributed on a sphere surface of ``radius``.
+
+    A convenient surface distribution for additional examples/tests (boundary
+    integral-equation style geometry).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = as_generator(seed)
+    normals = rng.normal(size=(n, 3))
+    norms = np.linalg.norm(normals, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return radius * normals / norms

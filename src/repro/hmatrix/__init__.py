@@ -1,0 +1,18 @@
+"""Hierarchical matrix formats: H2 (nested bases), HODLR, HSS and H (non-nested)."""
+
+from .aca import aca_low_rank
+from .basis_tree import BasisTree
+from .h2matrix import H2Matrix
+from .hmatrix import HMatrix
+from .hodlr import HODLRMatrix, build_hodlr
+from .hss import build_hss
+
+__all__ = [
+    "BasisTree",
+    "H2Matrix",
+    "HMatrix",
+    "HODLRMatrix",
+    "build_hodlr",
+    "build_hss",
+    "aca_low_rank",
+]

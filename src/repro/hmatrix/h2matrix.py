@@ -1,0 +1,283 @@
+"""The H2 matrix data structure.
+
+An :class:`H2Matrix` combines
+
+* a cluster tree and block partition (Fig. 1-2),
+* a nested basis tree ``U``/``E`` (Fig. 3),
+* coupling matrices ``B_{s,t}`` for every admissible leaf pair, and
+* dense matrices ``D_{s,t}`` for every inadmissible leaf pair,
+
+and provides the linear-complexity matrix-vector product (upward pass /
+coupling phase / downward pass / dense phase), batched entry extraction (used
+when an existing H2 matrix serves as the entry evaluator of a new
+construction, e.g. the low-rank update experiments), memory accounting for the
+Fig. 6 plots, and dense reconstruction for validation on small problems.
+
+The matrix acts on vectors in the *original* point ordering by default; the
+internal representation lives in the cluster-tree permuted ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..tree.block_partition import BlockPartition
+from ..tree.cluster_tree import ClusterTree
+from .basis_tree import BasisTree
+
+
+@dataclass
+class H2Matrix:
+    """A (symmetric) H2 matrix over a cluster tree and block partition."""
+
+    tree: ClusterTree
+    partition: BlockPartition
+    basis: BasisTree
+    #: ``coupling[(s, t)]`` is ``B_{s,t}`` of shape ``(rank(s), rank(t))``.
+    coupling: Dict[Tuple[int, int], np.ndarray] = field(default_factory=dict)
+    #: ``dense[(s, t)]`` is ``D_{s,t}`` of shape ``(size(s), size(t))``.
+    dense: Dict[Tuple[int, int], np.ndarray] = field(default_factory=dict)
+    #: Whether the matrix is symmetric (``V_t = U_t``); the constructor in this
+    #: reproduction always produces symmetric representations, as in the paper.
+    symmetric: bool = True
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def shape(self) -> Tuple[int, int]:
+        n = self.tree.num_points
+        return (n, n)
+
+    @property
+    def num_rows(self) -> int:
+        return self.tree.num_points
+
+    def rank_range(self) -> Tuple[int, int]:
+        return self.basis.rank_range()
+
+    # ----------------------------------------------------------------- matvec
+    def matvec(self, x: np.ndarray, permuted: bool = False) -> np.ndarray:
+        """Multiply by a vector or block of vectors.
+
+        Parameters
+        ----------
+        x:
+            Array of shape ``(n,)`` or ``(n, k)``.
+        permuted:
+            When ``True``, ``x`` is already in the cluster-tree ordering and the
+            result is returned in that ordering (used internally by the
+            construction); otherwise the original point ordering is used.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[:, None]
+        if x.shape[0] != self.num_rows:
+            raise ValueError(
+                f"dimension mismatch: matrix has {self.num_rows} rows, x has {x.shape[0]}"
+            )
+        xp = x if permuted else x[self.tree.perm]
+        yp = self._matvec_permuted(xp)
+        y = yp if permuted else yp[self.tree.iperm]
+        return y[:, 0] if single else y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def _matvec_permuted(self, x: np.ndarray) -> np.ndarray:
+        tree = self.tree
+        k = x.shape[1]
+        y = np.zeros_like(x)
+
+        # Upward pass: xhat_tau = U_tau^T x_tau at leaves, transfer-accumulated
+        # at inner nodes.
+        xhat: Dict[int, np.ndarray] = {}
+        for node in tree.leaves():
+            if self.basis.has_basis(node):
+                u = self.basis.leaf_bases.get(node)
+                if u is None or u.shape[1] == 0:
+                    xhat[node] = np.zeros((self.basis.rank(node), k))
+                else:
+                    xhat[node] = u.T @ x[tree.starts[node] : tree.ends[node]]
+        for level in range(tree.depth - 1, 0, -1):
+            for node in tree.nodes_at_level(level):
+                if not self.basis.has_basis(node):
+                    continue
+                left, right = tree.children(node)
+                acc = np.zeros((self.basis.rank(node), k))
+                for child in (left, right):
+                    e = self.basis.transfers.get(child)
+                    child_hat = xhat.get(child)
+                    if e is not None and child_hat is not None and e.size:
+                        acc += e.T @ child_hat
+                xhat[node] = acc
+
+        # Coupling phase: yhat_s += B_{s,t} xhat_t for every admissible pair.
+        yhat: Dict[int, np.ndarray] = {}
+        for (s, t), b in self.coupling.items():
+            if b.size == 0:
+                continue
+            xt = xhat.get(t)
+            if xt is None:
+                continue
+            acc = yhat.get(s)
+            if acc is None:
+                acc = np.zeros((self.basis.rank(s), k))
+                yhat[s] = acc
+            acc += b @ xt
+
+        # Downward pass: push yhat down the tree and expand at the leaves.
+        for level in range(1, tree.depth):
+            for node in tree.nodes_at_level(level):
+                parent_hat = yhat.get(node)
+                if parent_hat is None or tree.is_leaf(node):
+                    continue
+                for child in tree.children(node):
+                    e = self.basis.transfers.get(child)
+                    if e is None or e.size == 0:
+                        continue
+                    acc = yhat.get(child)
+                    if acc is None:
+                        acc = np.zeros((self.basis.rank(child), k))
+                        yhat[child] = acc
+                    acc += e @ parent_hat
+        for node in tree.leaves():
+            node_hat = yhat.get(node)
+            if node_hat is None:
+                continue
+            u = self.basis.leaf_bases.get(node)
+            if u is None or u.shape[1] == 0:
+                continue
+            y[tree.starts[node] : tree.ends[node]] += u @ node_hat
+
+        # Dense (inadmissible leaf) phase.
+        for (s, t), d in self.dense.items():
+            y[tree.starts[s] : tree.ends[s]] += d @ x[tree.starts[t] : tree.ends[t]]
+        return y
+
+    # ------------------------------------------------------- entry extraction
+    def leaf_of_index(self, index: int) -> int:
+        """The leaf cluster owning permuted index ``index``."""
+        tree = self.tree
+        node = 0
+        while not tree.is_leaf(node):
+            left, right = tree.children(node)
+            node = left if index < tree.ends[left] else right
+        return node
+
+    def _governing_block(self, leaf_s: int, leaf_t: int) -> Tuple[str, int, int]:
+        """Find the partition leaf block covering the leaf-cluster pair.
+
+        Returns ``("dense", s, t)`` when the pair is an inadmissible leaf block
+        or ``("coupling", a, b)`` for the (unique) admissible ancestor pair.
+        """
+        if leaf_t in self.partition.near(leaf_s):
+            return ("dense", leaf_s, leaf_t)
+        s, t = leaf_s, leaf_t
+        while True:
+            if t in self.partition.far(s):
+                return ("coupling", s, t)
+            if s == 0 or t == 0:
+                raise KeyError(
+                    f"no partition block covers leaf pair ({leaf_s}, {leaf_t}); "
+                    "the block partition is inconsistent"
+                )
+            s = self.tree.parent(s)
+            t = self.tree.parent(t)
+
+    def get_block(self, rows: np.ndarray, cols: np.ndarray, permuted: bool = True) -> np.ndarray:
+        """Evaluate the sub-matrix ``A[rows, cols]`` of the H2 approximation.
+
+        This is the entry-evaluation function required when an existing H2
+        matrix is used as the input of a new construction (Section V-A, the H2
+        update application).  Indices refer to the permuted ordering by default.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if not permuted:
+            rows = self.tree.iperm[rows]
+            cols = self.tree.iperm[cols]
+        out = np.zeros((rows.shape[0], cols.shape[0]), dtype=np.float64)
+        if rows.size == 0 or cols.size == 0:
+            return out
+
+        row_leaves = np.array([self.leaf_of_index(int(i)) for i in rows], dtype=np.int64)
+        col_leaves = np.array([self.leaf_of_index(int(j)) for j in cols], dtype=np.int64)
+        for leaf_s in np.unique(row_leaves):
+            sel_r = np.nonzero(row_leaves == leaf_s)[0]
+            local_r = rows[sel_r] - self.tree.starts[leaf_s]
+            for leaf_t in np.unique(col_leaves):
+                sel_c = np.nonzero(col_leaves == leaf_t)[0]
+                local_c = cols[sel_c] - self.tree.starts[leaf_t]
+                kind, a, b = self._governing_block(int(leaf_s), int(leaf_t))
+                if kind == "dense":
+                    block = self.dense[(a, b)][np.ix_(local_r, local_c)]
+                else:
+                    coupling = self.coupling.get((a, b))
+                    if coupling is None or coupling.size == 0:
+                        block = np.zeros((sel_r.size, sel_c.size))
+                    else:
+                        row_basis = self.basis.basis_rows(
+                            a, rows[sel_r] - self.tree.starts[a]
+                        )
+                        col_basis = self.basis.basis_rows(
+                            b, cols[sel_c] - self.tree.starts[b]
+                        )
+                        block = row_basis @ coupling @ col_basis.T
+                out[np.ix_(sel_r, sel_c)] = block
+        return out
+
+    # ------------------------------------------------------------------ dense
+    def to_dense(self, permuted: bool = False) -> np.ndarray:
+        """Reconstruct the full dense matrix (small problems / tests only)."""
+        n = self.num_rows
+        dense = np.zeros((n, n), dtype=np.float64)
+        for (s, t), block in self.dense.items():
+            dense[
+                self.tree.starts[s] : self.tree.ends[s],
+                self.tree.starts[t] : self.tree.ends[t],
+            ] = block
+        for (s, t), b in self.coupling.items():
+            if b.size == 0:
+                continue
+            us = self.basis.explicit_basis(s)
+            ut = self.basis.explicit_basis(t)
+            dense[
+                self.tree.starts[s] : self.tree.ends[s],
+                self.tree.starts[t] : self.tree.ends[t],
+            ] = us @ b @ ut.T
+        if permuted:
+            return dense
+        return dense[np.ix_(self.tree.iperm, self.tree.iperm)]
+
+    # ----------------------------------------------------------------- memory
+    def memory_bytes(self) -> Dict[str, int]:
+        """Memory footprint in bytes split by component (Fig. 6)."""
+        basis_bytes = self.basis.memory_bytes()
+        coupling_bytes = int(sum(b.nbytes for b in self.coupling.values()))
+        dense_bytes = int(sum(d.nbytes for d in self.dense.values()))
+        return {
+            "basis": basis_bytes,
+            "coupling": coupling_bytes,
+            "dense": dense_bytes,
+            "total": basis_bytes + coupling_bytes + dense_bytes,
+        }
+
+    def total_memory_mb(self) -> float:
+        return self.memory_bytes()["total"] / (1024.0 * 1024.0)
+
+    # ------------------------------------------------------------- statistics
+    def statistics(self) -> Dict[str, object]:
+        lo, hi = self.rank_range()
+        return {
+            "n": self.num_rows,
+            "depth": self.tree.depth,
+            "rank_min": lo,
+            "rank_max": hi,
+            "num_coupling_blocks": len(self.coupling),
+            "num_dense_blocks": len(self.dense),
+            "memory_mb": self.total_memory_mb(),
+            "sparsity_constant": self.partition.sparsity_constant(),
+        }

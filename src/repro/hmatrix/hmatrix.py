@@ -1,0 +1,125 @@
+"""Non-nested H matrices (strong admissibility, independent low-rank blocks).
+
+The H format stores every admissible block of the partition as an independent
+``U V^T`` factorization (O(N log N) memory), in contrast to the H2 format's
+nested bases (O(N) memory).  ButterflyPACK's sketching-based construction
+produces H/Butterfly representations; this class plus
+:class:`~repro.baselines.hmatrix_sketch.HMatrixSketchingConstructor` and the
+entry-based ACA constructor below serve as that comparator in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..linalg.low_rank import LowRankMatrix
+from ..tree.block_partition import BlockPartition
+from ..tree.cluster_tree import ClusterTree
+from .aca import aca_from_entry_function
+
+EntryFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class HMatrix:
+    """An H matrix over a block partition (permuted ordering)."""
+
+    tree: ClusterTree
+    partition: BlockPartition
+    #: ``low_rank[(s, t)]`` is the factorization of admissible block ``(s, t)``.
+    low_rank: Dict[Tuple[int, int], LowRankMatrix] = field(default_factory=dict)
+    #: ``dense[(s, t)]`` is the dense inadmissible leaf block ``(s, t)``.
+    dense: Dict[Tuple[int, int], np.ndarray] = field(default_factory=dict)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        n = self.tree.num_points
+        return (n, n)
+
+    def matvec(self, x: np.ndarray, permuted: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[:, None]
+        xp = x if permuted else x[self.tree.perm]
+        yp = np.zeros_like(xp)
+        for (s, t), lr in self.low_rank.items():
+            rows = slice(self.tree.starts[s], self.tree.ends[s])
+            cols = slice(self.tree.starts[t], self.tree.ends[t])
+            yp[rows] += lr.matvec(xp[cols])
+        for (s, t), block in self.dense.items():
+            rows = slice(self.tree.starts[s], self.tree.ends[s])
+            cols = slice(self.tree.starts[t], self.tree.ends[t])
+            yp[rows] += block @ xp[cols]
+        y = yp if permuted else yp[self.tree.iperm]
+        return y[:, 0] if single else y
+
+    def to_dense(self, permuted: bool = False) -> np.ndarray:
+        n = self.tree.num_points
+        dense = np.zeros((n, n), dtype=np.float64)
+        for (s, t), lr in self.low_rank.items():
+            dense[
+                self.tree.starts[s] : self.tree.ends[s],
+                self.tree.starts[t] : self.tree.ends[t],
+            ] = lr.to_dense()
+        for (s, t), block in self.dense.items():
+            dense[
+                self.tree.starts[s] : self.tree.ends[s],
+                self.tree.starts[t] : self.tree.ends[t],
+            ] = block
+        if permuted:
+            return dense
+        return dense[np.ix_(self.tree.iperm, self.tree.iperm)]
+
+    def memory_bytes(self) -> Dict[str, int]:
+        low_rank = int(
+            sum(lr.left.nbytes + lr.right.nbytes for lr in self.low_rank.values())
+        )
+        dense = int(sum(d.nbytes for d in self.dense.values()))
+        return {"low_rank": low_rank, "dense": dense, "total": low_rank + dense}
+
+    def rank_range(self) -> Tuple[int, int]:
+        ranks = [lr.rank for lr in self.low_rank.values()]
+        if not ranks:
+            return (0, 0)
+        return (int(min(ranks)), int(max(ranks)))
+
+    def statistics(self) -> Dict[str, object]:
+        lo, hi = self.rank_range()
+        return {
+            "n": self.tree.num_points,
+            "rank_min": lo,
+            "rank_max": hi,
+            "memory_mb": self.memory_bytes()["total"] / (1024.0**2),
+            "num_low_rank_blocks": len(self.low_rank),
+            "num_dense_blocks": len(self.dense),
+        }
+
+
+def build_hmatrix_aca(
+    partition: BlockPartition,
+    entries: EntryFunction,
+    tol: float = 1e-6,
+    max_rank: int | None = None,
+) -> HMatrix:
+    """Entry-evaluation H-matrix construction: ACA on every admissible block."""
+    tree = partition.tree
+    h = HMatrix(tree=tree, partition=partition)
+    for level in range(tree.num_levels):
+        for s in tree.nodes_at_level(level):
+            rows = tree.index_set(s)
+            for t in partition.far(s):
+                cols = tree.index_set(t)
+                u, v = aca_from_entry_function(
+                    entries, rows, cols, tol=tol, max_rank=max_rank
+                )
+                h.low_rank[(s, t)] = LowRankMatrix(u, v)
+    for s in tree.leaves():
+        rows = tree.index_set(s)
+        for t in partition.near(s):
+            cols = tree.index_set(t)
+            h.dense[(s, t)] = entries(rows, cols)
+    return h

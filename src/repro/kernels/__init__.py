@@ -1,0 +1,21 @@
+"""Kernel functions defining the dense matrices to be compressed."""
+
+from .base import KernelFunction, PairwiseKernel
+from .covariance import (
+    ExponentialKernel,
+    GaussianKernel,
+    Matern32Kernel,
+    Matern52Kernel,
+)
+from .helmholtz import HelmholtzKernel, LaplaceKernel
+
+__all__ = [
+    "KernelFunction",
+    "PairwiseKernel",
+    "ExponentialKernel",
+    "GaussianKernel",
+    "Matern32Kernel",
+    "Matern52Kernel",
+    "HelmholtzKernel",
+    "LaplaceKernel",
+]

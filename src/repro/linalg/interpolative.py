@@ -1,0 +1,131 @@
+"""Interpolative decompositions (ID).
+
+The column ID (Eq. 3) approximates an ``m x n`` matrix ``A`` by a linear
+combination of ``k`` of its own columns, ``A ~= A[:, S] @ [I  T] @ P^T``; the
+row ID is the column ID of ``A^T`` and produces the factorization used to
+skeletonize the sample blocks in Algorithm 1:
+
+    A ~= X @ A[J, :],     X[J, :] = I_k,
+
+where ``J`` are the skeleton row indices and the remaining (redundant) rows
+are expressed through the interpolation matrix ``T`` (``X`` stacks ``T`` on
+an identity, up to the row permutation which we keep explicit instead of
+assuming pre-sorted indices as the paper does for presentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+import scipy.linalg as sla
+
+from .qr import truncated_pivoted_qr
+
+
+@dataclass
+class InterpolativeDecomposition:
+    """Result of a row ID ``A ~= interpolation @ A[skeleton, :]``.
+
+    Attributes
+    ----------
+    skeleton:
+        The ``k`` selected (skeletonization) row indices ``J``.
+    redundant:
+        The remaining row indices, in pivot order.
+    interpolation:
+        The ``(m, k)`` matrix ``X`` with ``X[skeleton, :] = I``.
+    rank:
+        ``k``, the number of skeleton rows.
+    """
+
+    skeleton: np.ndarray
+    redundant: np.ndarray
+    interpolation: np.ndarray
+    rank: int
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.interpolation.shape[0])
+
+    def reconstruct(self, skeleton_rows: np.ndarray) -> np.ndarray:
+        """Rebuild the approximation ``X @ skeleton_rows``."""
+        return self.interpolation @ skeleton_rows
+
+
+def column_id(
+    matrix: np.ndarray,
+    rel_tol: float | None = None,
+    abs_tol: float | None = None,
+    max_rank: int | None = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Column interpolative decomposition ``A ~= A[:, S] @ coeffs``.
+
+    Returns ``(S, coeffs, rank)`` with ``coeffs`` of shape ``(rank, n)`` and
+    ``coeffs[:, S] = I`` so that ``A[:, S] @ coeffs`` approximates ``A`` to the
+    requested tolerance (measured on the pivoted-QR diagonal, as in Eq. 3).
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("matrix must be two-dimensional")
+    m, n = a.shape
+    _, r, perm, rank = truncated_pivoted_qr(
+        a, rel_tol=rel_tol, abs_tol=abs_tol, max_rank=max_rank
+    )
+    skeleton = perm[:rank]
+    if rank == 0:
+        return skeleton, np.zeros((0, n)), 0
+    r1 = r[:rank, :rank]
+    r2 = r[:rank, rank:]
+    if r2.shape[1]:
+        t = sla.solve_triangular(r1, r2, lower=False)
+    else:
+        t = np.zeros((rank, 0))
+    coeffs = np.zeros((rank, n))
+    coeffs[:, skeleton] = np.eye(rank)
+    coeffs[:, perm[rank:]] = t
+    return skeleton.astype(np.int64), coeffs, rank
+
+
+def row_id(
+    matrix: np.ndarray,
+    rel_tol: float | None = None,
+    abs_tol: float | None = None,
+    max_rank: int | None = None,
+) -> InterpolativeDecomposition:
+    """Row interpolative decomposition ``A ~= X @ A[J, :]``.
+
+    Implemented as the column ID of ``A^T`` (the GPU code batches exactly this:
+    transpose the sample blocks, run a column-pivoted QR, form ``T = R1^{-1} R2``).
+
+    Parameters
+    ----------
+    matrix:
+        The ``(m, d)`` sample block ``Y_loc`` of a node.
+    rel_tol:
+        Relative truncation tolerance on the pivoted-QR diagonal.
+    abs_tol:
+        Absolute truncation tolerance (used when a global matrix-norm based
+        threshold is requested, Section III-B).
+    max_rank:
+        Optional hard cap on the rank.
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError("matrix must be two-dimensional")
+    m = a.shape[0]
+    skeleton, coeffs, rank = column_id(
+        a.T, rel_tol=rel_tol, abs_tol=abs_tol, max_rank=max_rank
+    )
+    interpolation = coeffs.T  # (m, rank), identity on skeleton rows
+    all_rows = np.arange(m, dtype=np.int64)
+    mask = np.ones(m, dtype=bool)
+    mask[skeleton] = False
+    redundant = all_rows[mask]
+    return InterpolativeDecomposition(
+        skeleton=skeleton.astype(np.int64),
+        redundant=redundant,
+        interpolation=interpolation,
+        rank=rank,
+    )

@@ -1,0 +1,23 @@
+"""Multifrontal substrate: Poisson problems, nested dissection and frontal matrices.
+
+The paper's third test problem extracts frontal matrices from the multifrontal
+factorization of a uniform-grid 3D Poisson problem and compares the memory of
+compressing them with the proposed H2 algorithm against weak-admissibility
+formats (STRUMPACK's HSS/HODLR).  This package builds that substrate from
+scratch: the 7-point finite-difference operator, nested-dissection orderings
+of the grid graph, and exact Schur-complement frontal matrices of separators.
+"""
+
+from .frontal import FrontalMatrix, root_frontal_matrix, schur_complement
+from .nested_dissection import NestedDissection, nested_dissection
+from .poisson import poisson_matrix, poisson_grid_points
+
+__all__ = [
+    "poisson_matrix",
+    "poisson_grid_points",
+    "NestedDissection",
+    "nested_dissection",
+    "FrontalMatrix",
+    "schur_complement",
+    "root_frontal_matrix",
+]

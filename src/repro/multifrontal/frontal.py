@@ -1,0 +1,93 @@
+"""Frontal (Schur-complement) matrices of nested-dissection separators.
+
+In a multifrontal factorization the frontal matrix assembled at a separator —
+after all interior unknowns have been eliminated — equals the Schur complement
+
+    F = A_ss - A_si A_ii^{-1} A_is
+
+of the separator block.  These dense matrices are the workload of Fig. 6(b);
+they are numerically low-rank off the diagonal (they discretize a
+boundary-to-boundary operator) and their unknowns carry the geometry of the
+separator plane, which the hierarchical compressions cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .nested_dissection import nested_dissection
+from .poisson import poisson_grid_points, poisson_matrix
+
+
+@dataclass
+class FrontalMatrix:
+    """A dense frontal matrix together with the separator geometry."""
+
+    matrix: np.ndarray
+    points: np.ndarray
+    separator_indices: np.ndarray
+    grid_shape: tuple
+
+    @property
+    def size(self) -> int:
+        return int(self.matrix.shape[0])
+
+
+def schur_complement(
+    matrix: sp.spmatrix, separator: np.ndarray, interior: np.ndarray | None = None
+) -> np.ndarray:
+    """Exact Schur complement of ``matrix`` onto the ``separator`` unknowns.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse symmetric positive-definite matrix.
+    separator:
+        Indices of the unknowns kept (the frontal variables).
+    interior:
+        Indices eliminated; defaults to the complement of ``separator``.
+    """
+    matrix = sp.csr_matrix(matrix)
+    n = matrix.shape[0]
+    separator = np.asarray(separator, dtype=np.int64)
+    if interior is None:
+        mask = np.ones(n, dtype=bool)
+        mask[separator] = False
+        interior = np.nonzero(mask)[0]
+    else:
+        interior = np.asarray(interior, dtype=np.int64)
+
+    a_ss = matrix[np.ix_(separator, separator)].toarray()
+    if interior.size == 0:
+        return a_ss
+    a_si = sp.csc_matrix(matrix[np.ix_(separator, interior)])
+    a_is = sp.csc_matrix(matrix[np.ix_(interior, separator)])
+    a_ii = sp.csc_matrix(matrix[np.ix_(interior, interior)])
+    solver = spla.splu(a_ii)
+    solved = solver.solve(a_is.toarray())
+    return a_ss - a_si @ solved
+
+
+def root_frontal_matrix(grid_shape: tuple[int, ...]) -> FrontalMatrix:
+    """Frontal matrix of the root nested-dissection separator of a Poisson grid.
+
+    The returned matrix is the exact Schur complement of the middle separator
+    plane after eliminating both halves of the grid — the largest front of the
+    multifrontal factorization, sized ``~ n^2`` for an ``n^3`` grid.
+    """
+    grid_shape = tuple(int(s) for s in grid_shape)
+    matrix = poisson_matrix(grid_shape)
+    dissection = nested_dissection(grid_shape, max_levels=1)
+    separator = dissection.top_separator().indices
+    front = schur_complement(matrix, separator)
+    points = poisson_grid_points(grid_shape)[separator]
+    return FrontalMatrix(
+        matrix=front,
+        points=points,
+        separator_indices=separator,
+        grid_shape=grid_shape,
+    )

@@ -1,0 +1,42 @@
+"""Black-box sketching operators ``Kblk`` and entry-evaluation functions.
+
+Algorithm 1 requires two inputs: (a) a black-box function ``Y = Kblk(Omega)``
+applying the matrix to a block of random vectors in O(N d) time, and (b) a
+function evaluating arbitrary sub-blocks ``K(s, t)`` (the ``batchedGen``
+input).  This package provides both interfaces plus implementations for dense
+matrices, kernel matrices, existing H2 matrices, low-rank matrices and sums
+thereof (the low-rank update application combines an H2 operator with a
+low-rank operator).
+"""
+
+from .entry_extractor import (
+    DenseEntryExtractor,
+    EntryExtractor,
+    H2EntryExtractor,
+    KernelEntryExtractor,
+    LowRankEntryExtractor,
+    SumEntryExtractor,
+)
+from .operators import (
+    DenseOperator,
+    H2Operator,
+    KernelMatVecOperator,
+    LowRankOperator,
+    SketchingOperator,
+    SumOperator,
+)
+
+__all__ = [
+    "SketchingOperator",
+    "DenseOperator",
+    "KernelMatVecOperator",
+    "H2Operator",
+    "LowRankOperator",
+    "SumOperator",
+    "EntryExtractor",
+    "DenseEntryExtractor",
+    "KernelEntryExtractor",
+    "H2EntryExtractor",
+    "LowRankEntryExtractor",
+    "SumEntryExtractor",
+]

@@ -1,0 +1,18 @@
+"""Cluster tree, admissibility conditions and the dual-tree block partition."""
+
+from .admissibility import (
+    AdmissibilityCondition,
+    GeneralAdmissibility,
+    WeakAdmissibility,
+)
+from .block_partition import BlockPartition, build_block_partition
+from .cluster_tree import ClusterTree
+
+__all__ = [
+    "ClusterTree",
+    "AdmissibilityCondition",
+    "GeneralAdmissibility",
+    "WeakAdmissibility",
+    "BlockPartition",
+    "build_block_partition",
+]

@@ -1,0 +1,19 @@
+"""Small shared utilities: prefix sums, timers, validation, RNG helpers."""
+
+from .prefix_sum import exclusive_prefix_sum, offsets_from_sizes, total_from_sizes
+from .timing import PhaseTimer, Timer
+from .validation import check_positive, check_square, require
+from .rng import as_generator, spawn_generator
+
+__all__ = [
+    "exclusive_prefix_sum",
+    "offsets_from_sizes",
+    "total_from_sizes",
+    "PhaseTimer",
+    "Timer",
+    "check_positive",
+    "check_square",
+    "require",
+    "as_generator",
+    "spawn_generator",
+]

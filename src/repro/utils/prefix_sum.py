@@ -1,0 +1,52 @@
+"""Prefix-sum helpers used to lay out variable-size batches in a flat buffer.
+
+The GPU implementation in the paper avoids many small device allocations by
+computing, per level, the total workspace needed with a parallel prefix sum
+over block dimensions and performing a single allocation per operation.  The
+helpers in this module implement the same bookkeeping for the NumPy-backed
+batched engine in :mod:`repro.batched`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def exclusive_prefix_sum(sizes: Sequence[int]) -> np.ndarray:
+    """Return the exclusive prefix sum of ``sizes`` as an ``int64`` array.
+
+    The result has the same length as ``sizes``; element ``i`` holds the sum of
+    all elements strictly before ``i``.
+
+    Examples
+    --------
+    >>> exclusive_prefix_sum([2, 3, 1]).tolist()
+    [0, 2, 5]
+    """
+    arr = np.asarray(sizes, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("sizes must be one-dimensional")
+    out = np.zeros(arr.shape[0], dtype=np.int64)
+    if arr.shape[0] > 1:
+        np.cumsum(arr[:-1], out=out[1:])
+    return out
+
+
+def offsets_from_sizes(sizes: Sequence[int]) -> Tuple[np.ndarray, int]:
+    """Return ``(offsets, total)`` for laying out blocks of ``sizes`` contiguously.
+
+    ``offsets[i]`` is the starting position of block ``i`` in a flat buffer of
+    length ``total``.
+    """
+    offsets = exclusive_prefix_sum(sizes)
+    arr = np.asarray(sizes, dtype=np.int64)
+    total = int(offsets[-1] + arr[-1]) if arr.size else 0
+    return offsets, total
+
+
+def total_from_sizes(sizes: Sequence[int]) -> int:
+    """Total number of elements required to store all blocks of ``sizes``."""
+    arr = np.asarray(sizes, dtype=np.int64)
+    return int(arr.sum()) if arr.size else 0

@@ -1,0 +1,40 @@
+"""Random-number-generator helpers.
+
+All stochastic components of the library (sketching operators, adaptive
+sampling, synthetic workloads) accept either an integer seed, ``None`` or an
+existing :class:`numpy.random.Generator`; :func:`as_generator` normalises the
+three cases so results are reproducible when a seed is given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged (so callers can thread
+    one generator through a whole construction), an integer creates a fresh
+    seeded generator and ``None`` creates an OS-seeded one.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generator(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent generator for sub-stream ``stream`` of ``rng``.
+
+    Used when the adaptive construction repeatedly draws fresh sketching
+    matrices: each draw uses its own deterministic sub-stream so that adding
+    samples never re-uses previously drawn random vectors.
+    """
+    seed_seq = np.random.SeedSequence(
+        entropy=int(rng.integers(0, 2**63 - 1)), spawn_key=(int(stream),)
+    )
+    return np.random.default_rng(seed_seq)

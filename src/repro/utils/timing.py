@@ -1,0 +1,89 @@
+"""Lightweight timers used for the per-phase profiling of the constructor.
+
+The paper's Fig. 7 breaks the construction runtime into phases (sampling,
+entry generation, BSR multiplication, convergence test, ID, shrink/upsweep,
+miscellaneous).  :class:`PhaseTimer` accumulates wall-clock time per named
+phase so the benchmark harness can regenerate that breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """A simple accumulating wall-clock timer."""
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulate wall-clock time per named phase.
+
+    Used by :class:`repro.core.builder.H2Constructor` to produce the Fig. 7
+    breakdown (``sampling``, ``entry_generation``, ``bsr_gemm``,
+    ``convergence``, ``id``, ``shrink_upsweep``, ``misc``).
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        return float(sum(self.phases.values()))
+
+    def percentages(self) -> Dict[str, float]:
+        """Return the per-phase share of total time in percent."""
+        total = self.total()
+        if total <= 0.0:
+            return {name: 0.0 for name in self.phases}
+        return {name: 100.0 * value / total for name, value in self.phases.items()}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for name, value in other.phases.items():
+            self.add(name, value)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.phases)

@@ -1,0 +1,34 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float | int, name: str) -> None:
+    """Ensure ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_square(matrix: np.ndarray, name: str = "matrix") -> None:
+    """Ensure ``matrix`` is a two-dimensional square array."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+
+
+def as_index_array(indices: Any) -> np.ndarray:
+    """Convert ``indices`` to a 1-D ``int64`` array (without copying when possible)."""
+    arr = np.asarray(indices, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"index array must be one-dimensional, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,135 @@
+"""Tests for the comparator algorithms (top-down peeling, colored-probing H sketch)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterTree,
+    ConstructionConfig,
+    DenseEntryExtractor,
+    DenseOperator,
+    ExponentialKernel,
+    GeneralAdmissibility,
+    H2Constructor,
+    build_block_partition,
+    uniform_cube_points,
+)
+from repro.baselines import HMatrixSketchingConstructor, TopDownPeelingConstructor
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    points = uniform_cube_points(500, dim=2, seed=42)
+    tree = ClusterTree.build(points, leaf_size=32)
+    partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+    dense = ExponentialKernel(0.2).matrix(tree.points)
+    return tree, partition, dense
+
+
+class TestTopDownPeeling:
+    @pytest.fixture(scope="class")
+    def result(self, small_problem):
+        tree, _, dense = small_problem
+        return TopDownPeelingConstructor(
+            tree,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            tolerance=1e-6,
+            sample_block_size=16,
+            seed=1,
+        ).construct()
+
+    def test_accuracy(self, result, small_problem, rel_err):
+        _, _, dense = small_problem
+        assert rel_err(result.matrix.to_dense(permuted=True), dense) < 1e-3
+
+    def test_matvec(self, result, small_problem, rel_err):
+        _, _, dense = small_problem
+        x = np.random.default_rng(0).standard_normal(dense.shape[0])
+        assert rel_err(result.matrix.matvec(x, permuted=True), dense @ x) < 1e-3
+
+    def test_sample_accounting(self, result):
+        assert result.total_samples > 0
+        assert result.operator_applications > 0
+        assert sum(result.samples_per_level.values()) <= result.total_samples
+        assert result.memory_mb() > 0
+
+    def test_needs_many_more_samples_than_bottom_up(self, result, small_problem):
+        """The core claim of the paper: top-down peeling needs far more samples."""
+        _, partition, dense = small_problem
+        ours = H2Constructor(
+            partition,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            ConstructionConfig(tolerance=1e-6, sample_block_size=16),
+            seed=2,
+        ).construct()
+        assert result.total_samples > 3 * ours.total_samples
+
+    def test_hodlr_ranks_grow_toward_root(self, result):
+        """Weak-admissibility ranks grow for coarser levels (why peeling needs samples)."""
+        ranks = result.rank_per_level
+        assert ranks[min(ranks)] >= ranks[max(ranks)]
+
+    def test_dimension_validation(self, small_problem):
+        tree, _, dense = small_problem
+        wrong = np.eye(10)
+        with pytest.raises(ValueError):
+            TopDownPeelingConstructor(
+                tree, DenseOperator(wrong), DenseEntryExtractor(wrong)
+            )
+
+
+class TestHMatrixSketch:
+    @pytest.fixture(scope="class")
+    def result(self, small_problem):
+        _, partition, dense = small_problem
+        return HMatrixSketchingConstructor(
+            partition,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            tolerance=1e-6,
+            sample_block_size=16,
+            seed=3,
+        ).construct()
+
+    def test_accuracy(self, result, small_problem, rel_err):
+        _, _, dense = small_problem
+        assert rel_err(result.matrix.to_dense(permuted=True), dense) < 1e-3
+
+    def test_covers_all_partition_blocks(self, result, small_problem):
+        _, partition, _ = small_problem
+        assert len(result.matrix.low_rank) == partition.num_admissible_blocks()
+        assert len(result.matrix.dense) == partition.num_inadmissible_blocks()
+
+    def test_coloring_respects_conflicts(self, result, small_problem):
+        """No two columns of one color may be unresolved partners of the same row."""
+        _, partition, _ = small_problem
+        assert all(v >= 1 for v in result.colors_per_level.values())
+
+    def test_needs_more_samples_than_bottom_up(self, result, small_problem):
+        _, partition, dense = small_problem
+        ours = H2Constructor(
+            partition,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            ConstructionConfig(tolerance=1e-6, sample_block_size=16),
+            seed=4,
+        ).construct()
+        assert result.total_samples > 3 * ours.total_samples
+
+    def test_non_nested_memory_at_least_h2(self, result, small_problem):
+        _, partition, dense = small_problem
+        ours = H2Constructor(
+            partition,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            ConstructionConfig(tolerance=1e-6, sample_block_size=16),
+            seed=5,
+        ).construct()
+        assert result.memory_mb() >= 0.8 * ours.memory_mb()
+
+    def test_sample_accounting(self, result):
+        assert result.total_samples > 0
+        assert result.operator_applications > 0
+        assert result.rank_range()[1] >= result.rank_range()[0] >= 0

@@ -1,0 +1,323 @@
+"""Tests for the batched execution engine (variable batches, backends, BSR, counters)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BlockSparseRowMatrix,
+    KernelLaunchCounter,
+    SerialBackend,
+    VariableBatch,
+    VectorizedBackend,
+    get_backend,
+)
+
+
+def random_batch(shapes, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape) for shape in shapes]
+
+
+class TestVariableBatch:
+    def test_from_shapes_zero_initialised(self):
+        batch = VariableBatch.from_shapes([(2, 3), (4, 1)])
+        assert len(batch) == 2
+        assert batch.total_elements == 10
+        assert np.all(batch.data == 0.0)
+
+    def test_from_matrices_roundtrip(self):
+        mats = random_batch([(3, 2), (1, 5), (4, 4)], seed=1)
+        batch = VariableBatch.from_matrices(mats)
+        for original, stored in zip(mats, batch):
+            assert np.allclose(original, stored)
+
+    def test_views_share_flat_buffer(self):
+        batch = VariableBatch.from_shapes([(2, 2), (3, 1)])
+        batch[0][...] = 7.0
+        assert np.all(batch.data[:4] == 7.0)
+        assert np.all(batch.data[4:] == 0.0)
+
+    def test_setitem(self):
+        batch = VariableBatch.from_shapes([(2, 2)])
+        batch[0] = np.arange(4).reshape(2, 2)
+        assert np.array_equal(batch[0], [[0, 1], [2, 3]])
+
+    def test_empty_blocks_allowed(self):
+        batch = VariableBatch.from_shapes([(0, 5), (3, 0), (2, 2)])
+        assert batch.shape(0) == (0, 5)
+        assert batch[0].shape == (0, 5)
+        assert batch.total_elements == 4
+
+    def test_memory_bytes(self):
+        batch = VariableBatch.from_shapes([(10, 10)])
+        assert batch.memory_bytes() == 100 * 8
+
+    def test_invalid_layout(self):
+        with pytest.raises(ValueError):
+            VariableBatch([2, 2], [2])
+        with pytest.raises(ValueError):
+            VariableBatch([2], [2], data=np.zeros(3))
+        with pytest.raises(ValueError):
+            VariableBatch([-1], [2])
+
+    def test_to_list_copies(self):
+        batch = VariableBatch.from_matrices([np.ones((2, 2))])
+        copies = batch.to_list()
+        copies[0][...] = 5.0
+        assert np.all(batch[0] == 1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_layout_consistent(self, shapes):
+        batch = VariableBatch.from_shapes(shapes)
+        assert batch.total_elements == sum(r * c for r, c in shapes)
+        for i, (r, c) in enumerate(shapes):
+            assert batch[i].shape == (r, c)
+
+
+class TestCounters:
+    def test_record_and_totals(self):
+        counter = KernelLaunchCounter()
+        counter.record("gemm", 3)
+        counter.record("gemm", 2)
+        counter.record("qr")
+        assert counter.total() == 6
+        assert counter.total_calls() == 3
+        assert counter.by_operation()["gemm"] == 5
+        assert counter.calls_by_operation()["gemm"] == 2
+
+    def test_reset_and_merge(self):
+        a, b = KernelLaunchCounter(), KernelLaunchCounter()
+        a.record("x", 2)
+        b.record("x", 1)
+        b.record("y", 4)
+        a.merge(b)
+        assert a.by_operation() == {"x": 3, "y": 4}
+        a.reset()
+        assert a.total() == 0 and a.total_calls() == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            KernelLaunchCounter().record("x", -1)
+
+
+class TestBackendFactory:
+    def test_names(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("cpu"), SerialBackend)
+        assert isinstance(get_backend("vectorized"), VectorizedBackend)
+        assert isinstance(get_backend("gpu"), VectorizedBackend)
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_backend("tpu")
+
+    def test_counter_attached(self):
+        counter = KernelLaunchCounter()
+        backend = get_backend("serial", counter=counter)
+        assert backend.counter is counter
+
+
+@pytest.mark.parametrize("backend_name", ["serial", "vectorized"])
+class TestBackendPrimitives:
+    def test_batched_gemm(self, backend_name):
+        backend = get_backend(backend_name)
+        a = random_batch([(3, 4), (5, 2), (3, 4)], seed=1)
+        b = random_batch([(4, 6), (2, 3), (4, 6)], seed=2)
+        out = backend.batched_gemm(a, b)
+        for ai, bi, oi in zip(a, b, out):
+            assert np.allclose(oi, ai @ bi)
+
+    def test_batched_gemm_transposes(self, backend_name):
+        backend = get_backend(backend_name)
+        a = random_batch([(4, 3), (4, 3)], seed=3)
+        b = random_batch([(4, 5), (4, 5)], seed=4)
+        out = backend.batched_gemm(a, b, transpose_a=True)
+        for ai, bi, oi in zip(a, b, out):
+            assert np.allclose(oi, ai.T @ bi)
+        c = random_batch([(3, 5), (3, 5)], seed=5)
+        d = random_batch([(6, 5), (6, 5)], seed=6)
+        out = backend.batched_gemm(c, d, transpose_b=True)
+        for ci, di, oi in zip(c, d, out):
+            assert np.allclose(oi, ci @ di.T)
+
+    def test_batched_gemm_accumulate(self, backend_name):
+        backend = get_backend(backend_name)
+        a = random_batch([(3, 2), (4, 4)], seed=5)
+        b = random_batch([(2, 6), (4, 6)], seed=6)
+        c = [np.ones((3, 6)), np.ones((4, 6))]
+        expected = [ci - 2.0 * (ai @ bi) for ci, ai, bi in zip(c, a, b)]
+        backend.batched_gemm_accumulate(c, a, b, alpha=-2.0)
+        for ci, ei in zip(c, expected):
+            assert np.allclose(ci, ei)
+
+    def test_batched_transpose(self, backend_name):
+        backend = get_backend(backend_name)
+        a = random_batch([(3, 5), (2, 2), (3, 5)], seed=7)
+        out = backend.batched_transpose(a)
+        for ai, oi in zip(a, out):
+            assert np.allclose(oi, ai.T)
+            assert oi.flags["C_CONTIGUOUS"]
+
+    def test_batched_min_r_diag(self, backend_name):
+        backend = get_backend(backend_name)
+        rng = np.random.default_rng(8)
+        full = rng.standard_normal((20, 6))
+        deficient = rng.standard_normal((20, 2)) @ rng.standard_normal((2, 6))
+        wide = rng.standard_normal((3, 6))
+        mins = backend.batched_min_r_diag([full, deficient, wide])
+        assert mins[0] > 1e-3
+        assert mins[1] < 1e-8
+        assert mins[2] == 0.0
+
+    def test_batched_row_id(self, backend_name):
+        backend = get_backend(backend_name)
+        rng = np.random.default_rng(9)
+        mats = [
+            rng.standard_normal((15, 3)) @ rng.standard_normal((3, 8)),
+            rng.standard_normal((10, 2)) @ rng.standard_normal((2, 8)),
+        ]
+        decs = backend.batched_row_id(mats, rel_tol=1e-10)
+        assert decs[0].rank == 3 and decs[1].rank == 2
+        for mat, dec in zip(mats, decs):
+            assert np.allclose(dec.reconstruct(mat[dec.skeleton]), mat, atol=1e-8)
+
+    def test_batched_row_id_per_item_abs_tol(self, backend_name):
+        backend = get_backend(backend_name)
+        mat = np.diag([10.0, 1.0, 1e-6])
+        decs = backend.batched_row_id([mat, mat], abs_tols=[1e-3, 1e-9])
+        assert decs[0].rank == 2
+        assert decs[1].rank == 3
+
+    def test_batched_random_normal(self, backend_name):
+        backend = get_backend(backend_name)
+        batch = backend.batched_random_normal([(100, 3), (50, 2)], seed=11)
+        assert batch[0].shape == (100, 3)
+        assert abs(float(batch.data.mean())) < 0.2
+
+    def test_batched_rows(self, backend_name):
+        backend = get_backend(backend_name)
+        a = random_batch([(6, 3), (5, 2)], seed=12)
+        rows = [np.array([0, 2, 4]), np.array([1])]
+        out = backend.batched_rows(a, rows)
+        assert np.allclose(out[0], a[0][[0, 2, 4]])
+        assert np.allclose(out[1], a[1][[1]])
+
+    def test_counter_incremented(self, backend_name):
+        backend = get_backend(backend_name)
+        a = random_batch([(3, 3)] * 4, seed=13)
+        backend.batched_gemm(a, a)
+        backend.batched_min_r_diag(a)
+        assert backend.counter.total_calls() >= 2
+        assert backend.counter.total() >= 2
+
+
+class TestBackendEquivalence:
+    """Serial and vectorized backends must produce identical numerical results."""
+
+    @given(seed=st.integers(0, 200), count=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_gemm_equivalence(self, seed, count):
+        rng = np.random.default_rng(seed)
+        shapes = [(rng.integers(1, 6), rng.integers(1, 6)) for _ in range(count)]
+        a = [rng.standard_normal((m, k)) for m, k in shapes]
+        b = [rng.standard_normal((k, rng.integers(1, 6))) for _, k in shapes]
+        out_serial = SerialBackend().batched_gemm(a, b)
+        out_vector = VectorizedBackend().batched_gemm(a, b)
+        for x, y in zip(out_serial, out_vector):
+            assert np.allclose(x, y, atol=1e-12)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_min_r_diag_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        mats = [rng.standard_normal((rng.integers(4, 12), 4)) for _ in range(5)]
+        serial = SerialBackend().batched_min_r_diag(mats)
+        vector = VectorizedBackend().batched_min_r_diag(mats)
+        assert np.allclose(serial, vector, atol=1e-10)
+
+    def test_vectorized_fewer_launches_for_uniform_shapes(self):
+        mats = random_batch([(8, 8)] * 16, seed=1)
+        serial = SerialBackend()
+        vector = VectorizedBackend()
+        serial.batched_gemm(mats, mats)
+        vector.batched_gemm(mats, mats)
+        # uniform shapes -> a single stacked launch on the vectorized backend
+        assert vector.counter.by_operation()["batched_gemm"] == 1
+        assert serial.counter.by_operation()["batched_gemm"] == 1
+
+    def test_vectorized_groups_by_shape(self):
+        mats = random_batch([(4, 4)] * 3 + [(6, 6)] * 2, seed=2)
+        vector = VectorizedBackend()
+        vector.batched_gemm(mats, mats)
+        assert vector.counter.by_operation()["batched_gemm"] == 2
+
+
+class TestBlockSparseRow:
+    def _build(self, seed=0):
+        rng = np.random.default_rng(seed)
+        sizes_rows = [3, 4, 2]
+        sizes_cols = [3, 4, 2]
+        bsr = BlockSparseRowMatrix(num_block_rows=3)
+        dense = np.zeros((sum(sizes_rows), sum(sizes_cols)))
+        row_off = np.concatenate([[0], np.cumsum(sizes_rows)])
+        col_off = np.concatenate([[0], np.cumsum(sizes_cols)])
+        blocks = [(0, 0), (0, 2), (1, 1), (2, 0), (2, 1), (2, 2)]
+        for r, c in blocks:
+            mat = rng.standard_normal((sizes_rows[r], sizes_cols[c]))
+            bsr.add_block(r, c, mat)
+            dense[row_off[r] : row_off[r + 1], col_off[c] : col_off[c + 1]] = mat
+        return bsr, dense, sizes_rows, sizes_cols, row_off, col_off
+
+    @pytest.mark.parametrize("backend_name", ["serial", "vectorized"])
+    def test_multiply_accumulate_matches_dense(self, backend_name):
+        bsr, dense, sizes_rows, sizes_cols, row_off, col_off = self._build()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((dense.shape[1], 5))
+        inputs = [x[col_off[i] : col_off[i + 1]] for i in range(3)]
+        outputs = [np.zeros((s, 5)) for s in sizes_rows]
+        bsr.multiply_accumulate(outputs, inputs, get_backend(backend_name), alpha=-1.0)
+        expected = -dense @ x
+        stacked = np.vstack(outputs)
+        assert np.allclose(stacked, expected, atol=1e-12)
+
+    def test_max_blocks_per_row(self):
+        bsr, *_ = self._build()
+        assert bsr.max_blocks_per_row() == 3
+        assert bsr.num_blocks() == 6
+
+    def test_to_dense(self):
+        bsr, dense, _, _, row_off, col_off = self._build()
+        assert np.allclose(bsr.to_dense(row_off[:-1], col_off[:-1], dense.shape), dense)
+
+    def test_block_shapes_histogram(self):
+        bsr, *_ = self._build()
+        hist = bsr.block_shapes()
+        assert sum(hist.values()) == 6
+
+    def test_empty_rows_allowed(self):
+        bsr = BlockSparseRowMatrix(num_block_rows=2)
+        bsr.add_block(0, 0, np.ones((2, 2)))
+        outputs = [np.zeros((2, 3)), np.zeros((4, 3))]
+        bsr.multiply_accumulate(outputs, [np.ones((2, 3))], get_backend("serial"))
+        assert np.allclose(outputs[0], 2.0)
+        assert np.allclose(outputs[1], 0.0)
+
+    def test_invalid_row_raises(self):
+        bsr = BlockSparseRowMatrix(num_block_rows=1)
+        with pytest.raises(IndexError):
+            bsr.add_block(3, 0, np.ones((1, 1)))
+
+    def test_output_count_mismatch_raises(self):
+        bsr = BlockSparseRowMatrix(num_block_rows=2)
+        with pytest.raises(ValueError):
+            bsr.multiply_accumulate([np.zeros((1, 1))], [], get_backend("serial"))

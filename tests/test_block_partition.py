@@ -1,0 +1,152 @@
+"""Tests for admissibility conditions and the dual-tree block partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ClusterTree,
+    GeneralAdmissibility,
+    WeakAdmissibility,
+    build_block_partition,
+    uniform_cube_points,
+)
+
+
+class TestAdmissibility:
+    def test_diagonal_never_admissible(self, tree_2d):
+        adm = GeneralAdmissibility(eta=10.0)
+        for node in (0, 1, tree_2d.num_nodes - 1):
+            assert not adm.is_admissible(tree_2d, node, node)
+
+    def test_far_apart_leaves_admissible(self, tree_2d):
+        adm = GeneralAdmissibility(eta=0.7)
+        leaves = list(tree_2d.leaves())
+        # the first and last leaf are on opposite corners of the square
+        assert adm.is_admissible(tree_2d, leaves[0], leaves[-1]) == (
+            0.5 * (tree_2d.diameter(leaves[0]) + tree_2d.diameter(leaves[-1]))
+            <= 0.7 * tree_2d.distance(leaves[0], leaves[-1])
+        )
+
+    def test_eta_monotonicity(self, tree_2d):
+        loose = GeneralAdmissibility(eta=2.0)
+        strict = GeneralAdmissibility(eta=0.3)
+        leaves = list(tree_2d.leaves())
+        for s in leaves[:4]:
+            for t in leaves[-4:]:
+                if strict.is_admissible(tree_2d, s, t):
+                    assert loose.is_admissible(tree_2d, s, t)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            GeneralAdmissibility(eta=0.0)
+
+    def test_weak_admissibility(self, tree_2d):
+        adm = WeakAdmissibility()
+        assert not adm.is_admissible(tree_2d, 3, 3)
+        assert adm.is_admissible(tree_2d, 1, 2)
+
+    def test_callable_interface(self, tree_2d):
+        adm = GeneralAdmissibility(eta=0.7)
+        assert adm(tree_2d, 1, 1) == adm.is_admissible(tree_2d, 1, 1)
+
+
+class TestBlockPartition:
+    def test_tiles_matrix(self, partition_2d):
+        partition_2d.validate_disjoint_cover()
+
+    def test_symmetry_of_far_and_near(self, partition_2d, tree_2d):
+        for s in range(tree_2d.num_nodes):
+            for t in partition_2d.far(s):
+                assert s in partition_2d.far(t)
+        for s in tree_2d.leaves():
+            for t in partition_2d.near(s):
+                assert s in partition_2d.near(t)
+
+    def test_near_field_only_on_leaves(self, partition_2d, tree_2d):
+        for node in range(tree_2d.num_nodes):
+            if not tree_2d.is_leaf(node):
+                assert partition_2d.near(node) == []
+
+    def test_diagonal_blocks_are_near(self, partition_2d, tree_2d):
+        for leaf in tree_2d.leaves():
+            assert leaf in partition_2d.near(leaf)
+
+    def test_far_pairs_are_admissible(self, partition_2d, tree_2d):
+        adm = partition_2d.admissibility
+        for s in range(tree_2d.num_nodes):
+            for t in partition_2d.far(s):
+                assert adm.is_admissible(tree_2d, s, t)
+                assert tree_2d.level_of(s) == tree_2d.level_of(t)
+
+    def test_far_parents_inadmissible(self, partition_2d, tree_2d):
+        """F_tau contains only clusters whose parent pair was inadmissible."""
+        adm = partition_2d.admissibility
+        for s in range(1, tree_2d.num_nodes):
+            for t in partition_2d.far(s):
+                ps, pt = tree_2d.parent(s), tree_2d.parent(t)
+                assert not adm.is_admissible(tree_2d, ps, pt)
+
+    def test_sparsity_constant_positive_and_bounded(self, partition_2d, tree_2d):
+        csp = partition_2d.sparsity_constant()
+        assert csp >= 1
+        assert csp <= tree_2d.num_nodes_at_level(tree_2d.depth)
+
+    def test_statistics_keys(self, partition_2d):
+        stats = partition_2d.statistics()
+        assert stats["num_admissible_blocks"] == partition_2d.num_admissible_blocks()
+        assert stats["num_inadmissible_blocks"] == partition_2d.num_inadmissible_blocks()
+        assert "per_level" in stats and stats["sparsity_constant"] >= 1
+
+    def test_admissible_pairs_at_level(self, partition_2d, tree_2d):
+        total = sum(
+            len(partition_2d.admissible_pairs_at_level(level))
+            for level in range(tree_2d.num_levels)
+        )
+        assert total == partition_2d.num_admissible_blocks()
+
+    def test_weak_partition_is_hodlr(self, tree_2d):
+        part = build_block_partition(tree_2d, WeakAdmissibility())
+        part.validate_disjoint_cover()
+        # every non-root node has exactly its sibling in the far field
+        for node in range(1, tree_2d.num_nodes):
+            parent = tree_2d.parent(node)
+            left, right = tree_2d.children(parent)
+            sibling = right if node == left else left
+            assert part.far(node) == [sibling]
+        # dense blocks are exactly the diagonal leaf blocks
+        for leaf in tree_2d.leaves():
+            assert part.near(leaf) == [leaf]
+
+    def test_smaller_eta_refines_partition(self, tree_2d):
+        coarse = build_block_partition(tree_2d, GeneralAdmissibility(eta=1.5))
+        fine = build_block_partition(tree_2d, GeneralAdmissibility(eta=0.5))
+        # stricter admissibility -> more dense blocks and at least as large Csp
+        assert fine.num_inadmissible_blocks() >= coarse.num_inadmissible_blocks()
+        assert fine.sparsity_constant() >= coarse.sparsity_constant()
+
+    def test_default_admissibility_is_general(self, tree_2d):
+        part = build_block_partition(tree_2d)
+        assert isinstance(part.admissibility, GeneralAdmissibility)
+        assert part.admissibility.eta == pytest.approx(0.7)
+
+    @given(
+        n=st.integers(min_value=20, max_value=300),
+        dim=st.integers(min_value=1, max_value=3),
+        eta=st.floats(min_value=0.3, max_value=2.5),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_partition_tiles_matrix(self, n, dim, eta, seed):
+        pts = uniform_cube_points(n, dim=dim, seed=seed)
+        tree = ClusterTree.build(pts, leaf_size=16)
+        part = build_block_partition(tree, GeneralAdmissibility(eta=eta))
+        part.validate_disjoint_cover()
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_property_weak_partition_tiles_matrix(self, seed):
+        pts = uniform_cube_points(150, dim=2, seed=seed)
+        tree = ClusterTree.build(pts, leaf_size=16)
+        part = build_block_partition(tree, WeakAdmissibility())
+        part.validate_disjoint_cover()

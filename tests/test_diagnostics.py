@@ -1,0 +1,109 @@
+"""Tests for diagnostics: error measurement, memory reports, profiling, reporting."""
+
+import numpy as np
+import pytest
+
+from repro import DenseOperator
+from repro.diagnostics import (
+    construction_error,
+    dense_relative_error,
+    format_series,
+    format_table,
+    memory_report,
+    phase_breakdown,
+)
+from repro.diagnostics.profiling import PHASE_ORDER, PhaseBreakdown
+
+
+class TestErrorMeasurement:
+    def test_dense_relative_error(self):
+        a = np.eye(5)
+        b = np.eye(5) + 1e-3
+        err = dense_relative_error(b, a)
+        assert err == pytest.approx(np.linalg.norm(b - a) / np.linalg.norm(a))
+
+    def test_dense_relative_error_spectral(self):
+        a = np.diag([2.0, 1.0])
+        b = np.diag([2.0, 1.5])
+        assert dense_relative_error(b, a, norm="2") == pytest.approx(0.25)
+
+    def test_identical_matrices(self):
+        a = np.random.default_rng(0).standard_normal((4, 4))
+        assert dense_relative_error(a, a) == 0.0
+
+    def test_zero_reference(self):
+        assert dense_relative_error(np.zeros((2, 2)), np.zeros((2, 2))) == 0.0
+        assert dense_relative_error(np.ones((2, 2)), np.zeros((2, 2))) == np.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dense_relative_error(np.eye(2), np.eye(3))
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            dense_relative_error(np.eye(2), np.eye(2), norm="max")
+
+    def test_construction_error_close_to_dense_error(self, cov_h2, dense_cov_2d):
+        op = DenseOperator(dense_cov_2d)
+        sketched = construction_error(cov_h2, op, num_iterations=10, seed=1)
+        exact = dense_relative_error(cov_h2.to_dense(permuted=True), dense_cov_2d, norm="2")
+        assert sketched <= 50 * max(exact, 1e-16)
+        assert sketched < 1e-4
+
+
+class TestMemoryReport:
+    def test_report_totals(self, cov_h2):
+        report = memory_report(cov_h2)
+        assert report.total_bytes == cov_h2.memory_bytes()["total"]
+        assert report.total_gb == pytest.approx(report.total_mb / 1024.0)
+
+    def test_report_from_plain_number(self):
+        class Fake:
+            def memory_bytes(self):
+                return 2048
+
+        report = memory_report(Fake())
+        assert report.total_bytes == 2048
+        assert report.total_mb == pytest.approx(2048 / 1024**2)
+
+
+class TestPhaseBreakdown:
+    def test_percentages_sum_to_100(self, cov_h2_result):
+        breakdown = phase_breakdown(cov_h2_result)
+        pct = breakdown.percentages()
+        assert abs(sum(pct.values()) - 100.0) < 1e-9
+
+    def test_ordered_phases(self):
+        breakdown = PhaseBreakdown(seconds={"id": 1.0, "sampling": 3.0, "custom": 0.5})
+        ordered = breakdown.ordered()
+        assert list(ordered)[: len(PHASE_ORDER)] == list(PHASE_ORDER)
+        assert ordered["custom"] == 0.5
+        assert ordered["convergence"] == 0.0
+
+    def test_empty_breakdown(self):
+        breakdown = PhaseBreakdown(seconds={})
+        assert breakdown.total_seconds == 0.0
+        assert breakdown.percentages() == {}
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            ["N", "time"], [[1024, 0.5], [2048, 1.25]], title="Construction time"
+        )
+        assert "Construction time" in text
+        assert "1024" in text and "2048" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_series_missing_points(self):
+        text = format_series(
+            "N",
+            {"ours": {1024: 0.1, 2048: 0.2}, "baseline": {1024: 1.0}},
+            title="Fig 5",
+        )
+        assert "Fig 5" in text
+        assert "-" in text  # the missing baseline point at N=2048
+
+    def test_format_table_float_format(self):
+        text = format_table(["x"], [[0.123456789]], float_format="{:.2f}")
+        assert "0.12" in text

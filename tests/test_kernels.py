@@ -1,0 +1,138 @@
+"""Tests for the kernel functions (covariance and volume-IE)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ExponentialKernel,
+    GaussianKernel,
+    HelmholtzKernel,
+    LaplaceKernel,
+    Matern32Kernel,
+    Matern52Kernel,
+    uniform_cube_points,
+)
+from repro.kernels.base import pairwise_distances
+from repro.kernels.helmholtz import ScaledKernel
+
+ALL_KERNELS = [
+    ExponentialKernel(0.2),
+    GaussianKernel(0.3),
+    Matern32Kernel(0.25),
+    Matern52Kernel(0.25),
+    HelmholtzKernel(wavenumber=3.0, diagonal_value=1.0),
+    LaplaceKernel(diagonal_value=2.0),
+]
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random((20, 3)), rng.random((15, 3))
+        naive = np.linalg.norm(x[:, None, :] - y[None, :, :], axis=2)
+        assert np.allclose(pairwise_distances(x, y), naive, atol=1e-10)
+
+    def test_zero_on_identical_points(self):
+        x = np.random.default_rng(1).random((10, 3))
+        d = pairwise_distances(x, x)
+        assert np.allclose(np.diag(d), 0.0)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.random((8, 2)), rng.random((9, 2))
+        assert np.all(pairwise_distances(x, y) >= 0.0)
+
+
+class TestKernelValues:
+    def test_exponential_formula(self):
+        k = ExponentialKernel(0.2)
+        x = np.array([[0.0, 0.0, 0.0]])
+        y = np.array([[0.3, 0.4, 0.0]])
+        assert k(x, y)[0, 0] == pytest.approx(np.exp(-0.5 / 0.2))
+
+    def test_exponential_diagonal_is_one(self):
+        pts = uniform_cube_points(50, seed=0)
+        mat = ExponentialKernel(0.2).matrix(pts)
+        assert np.allclose(np.diag(mat), 1.0)
+
+    def test_gaussian_formula(self):
+        k = GaussianKernel(0.5)
+        x, y = np.zeros((1, 2)), np.array([[0.5, 0.0]])
+        assert k(x, y)[0, 0] == pytest.approx(np.exp(-0.5))
+
+    def test_matern_decreasing_in_distance(self):
+        for k in (Matern32Kernel(0.2), Matern52Kernel(0.2)):
+            r = np.linspace(0, 2, 50)
+            vals = k.profile(r)
+            assert np.all(np.diff(vals) <= 1e-12)
+            assert vals[0] == pytest.approx(1.0)
+
+    def test_helmholtz_formula_offdiagonal(self):
+        k = HelmholtzKernel(wavenumber=3.0)
+        x, y = np.zeros((1, 3)), np.array([[0.5, 0.0, 0.0]])
+        assert k(x, y)[0, 0] == pytest.approx(np.cos(1.5) / 0.5)
+
+    def test_helmholtz_diagonal_value_used(self):
+        k = HelmholtzKernel(wavenumber=3.0, diagonal_value=7.5)
+        pts = uniform_cube_points(20, seed=1)
+        mat = k.matrix(pts)
+        assert np.allclose(np.diag(mat), 7.5)
+        assert np.all(np.isfinite(mat))
+
+    def test_laplace_diagonal_finite(self):
+        mat = LaplaceKernel(diagonal_value=0.0).matrix(uniform_cube_points(20, seed=2))
+        assert np.all(np.isfinite(mat))
+
+    def test_scaled_kernel(self):
+        base = ExponentialKernel(0.2)
+        scaled = ScaledKernel(base=base, scale=3.0)
+        r = np.linspace(0, 1, 10)
+        assert np.allclose(scaled.profile(r), 3.0 * base.profile(r))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExponentialKernel(0.0)
+        with pytest.raises(ValueError):
+            GaussianKernel(-1.0)
+        with pytest.raises(ValueError):
+            HelmholtzKernel(wavenumber=-1.0)
+        with pytest.raises(ValueError):
+            ScaledKernel(base=None)
+
+
+class TestKernelMatrices:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__)
+    def test_symmetric(self, kernel):
+        pts = uniform_cube_points(60, seed=3)
+        mat = kernel.matrix(pts)
+        assert np.allclose(mat, mat.T, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__)
+    def test_finite(self, kernel):
+        pts = uniform_cube_points(60, seed=4)
+        assert np.all(np.isfinite(kernel.matrix(pts)))
+
+    def test_exponential_is_positive_definite(self):
+        pts = uniform_cube_points(80, seed=5)
+        mat = ExponentialKernel(0.2).matrix(pts)
+        eigs = np.linalg.eigvalsh(mat)
+        assert eigs.min() > -1e-10
+
+    def test_covariance_blocks_are_numerically_low_rank(self):
+        """Well-separated blocks must be compressible — the premise of the paper."""
+        rng = np.random.default_rng(6)
+        left = rng.random((80, 3)) * 0.2
+        right = rng.random((80, 3)) * 0.2 + np.array([0.8, 0.8, 0.8])
+        block = ExponentialKernel(0.2).evaluate(left, right)
+        s = np.linalg.svd(block, compute_uv=False)
+        numerical_rank = int(np.sum(s > 1e-8 * s[0]))
+        assert numerical_rank < 40
+
+    def test_evaluate_rectangular(self):
+        k = ExponentialKernel(0.2)
+        a = uniform_cube_points(30, seed=7)
+        b = uniform_cube_points(45, seed=8)
+        assert k.evaluate(a, b).shape == (30, 45)

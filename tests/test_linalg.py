@@ -1,0 +1,237 @@
+"""Tests for repro.linalg: pivoted QR, interpolative decomposition, low-rank
+objects and randomized norm estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import (
+    LowRankMatrix,
+    estimate_relative_error,
+    estimate_spectral_norm,
+    random_low_rank,
+    row_id,
+)
+from repro.linalg.interpolative import column_id
+from repro.linalg.qr import (
+    householder_orthonormalize,
+    smallest_r_diagonal,
+    truncated_pivoted_qr,
+)
+
+
+def random_rank_k(m, n, k, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k)) @ rng.standard_normal((k, n))
+    if noise:
+        a = a + noise * rng.standard_normal((m, n))
+    return a
+
+
+class TestTruncatedPivotedQR:
+    def test_exact_rank_detected(self):
+        a = random_rank_k(40, 30, 5, seed=1)
+        _, _, _, rank = truncated_pivoted_qr(a, rel_tol=1e-10)
+        assert rank == 5
+
+    def test_reconstruction(self):
+        a = random_rank_k(25, 20, 8, seed=2)
+        q, r, perm, rank = truncated_pivoted_qr(a, rel_tol=1e-12)
+        recon = q[:, :rank] @ r[:rank]
+        assert np.allclose(recon, a[:, perm], atol=1e-8)
+
+    def test_abs_tol(self):
+        a = np.diag([10.0, 1.0, 1e-8])
+        _, _, _, rank = truncated_pivoted_qr(a, abs_tol=1e-4)
+        assert rank == 2
+
+    def test_max_rank_cap(self):
+        a = random_rank_k(30, 30, 10, seed=3)
+        _, _, _, rank = truncated_pivoted_qr(a, rel_tol=1e-12, max_rank=4)
+        assert rank == 4
+
+    def test_zero_matrix(self):
+        _, _, _, rank = truncated_pivoted_qr(np.zeros((10, 7)), rel_tol=1e-10)
+        assert rank == 0
+
+    def test_empty_matrix(self):
+        q, r, perm, rank = truncated_pivoted_qr(np.zeros((0, 5)))
+        assert rank == 0 and perm.shape == (5,)
+
+    def test_no_tolerance_full_rank(self):
+        a = np.random.default_rng(4).standard_normal((12, 9))
+        _, _, _, rank = truncated_pivoted_qr(a)
+        assert rank == 9
+
+
+class TestSmallestRDiagonal:
+    def test_full_rank_positive(self):
+        a = np.random.default_rng(5).standard_normal((20, 10))
+        assert smallest_r_diagonal(a) > 1e-3
+
+    def test_rank_deficient_small(self):
+        a = random_rank_k(30, 10, 3, seed=6)
+        assert smallest_r_diagonal(a) < 1e-8
+
+    def test_wide_matrix_reports_converged(self):
+        a = np.random.default_rng(7).standard_normal((5, 10))
+        assert smallest_r_diagonal(a) == 0.0
+
+    def test_empty(self):
+        assert smallest_r_diagonal(np.zeros((0, 4))) == 0.0
+        assert smallest_r_diagonal(np.zeros((4, 0))) == 0.0
+
+    def test_orthonormalize(self):
+        a = np.random.default_rng(8).standard_normal((15, 6))
+        q = householder_orthonormalize(a)
+        assert np.allclose(q.T @ q, np.eye(6), atol=1e-10)
+
+
+class TestInterpolativeDecomposition:
+    def test_row_id_exact_low_rank(self):
+        a = random_rank_k(50, 30, 7, seed=9)
+        dec = row_id(a, rel_tol=1e-10)
+        assert dec.rank == 7
+        assert np.allclose(dec.reconstruct(a[dec.skeleton]), a, atol=1e-7)
+
+    def test_identity_on_skeleton_rows(self):
+        a = random_rank_k(40, 25, 6, seed=10)
+        dec = row_id(a, rel_tol=1e-10)
+        assert np.allclose(dec.interpolation[dec.skeleton], np.eye(dec.rank), atol=1e-12)
+
+    def test_skeleton_and_redundant_partition_rows(self):
+        a = random_rank_k(30, 20, 5, seed=11)
+        dec = row_id(a, rel_tol=1e-10)
+        combined = np.sort(np.concatenate([dec.skeleton, dec.redundant]))
+        assert np.array_equal(combined, np.arange(30))
+
+    def test_tolerance_controls_error(self):
+        a = random_rank_k(60, 40, 30, seed=12, noise=1e-9)
+        for tol in (1e-2, 1e-4, 1e-6):
+            dec = row_id(a, rel_tol=tol)
+            err = np.linalg.norm(dec.reconstruct(a[dec.skeleton]) - a) / np.linalg.norm(a)
+            # pivoted-QR based ID satisfies a tolerance up to a modest factor
+            assert err <= 50 * tol
+
+    def test_rank_monotone_in_tolerance(self):
+        a = random_rank_k(60, 40, 30, seed=13, noise=1e-10)
+        ranks = [row_id(a, rel_tol=tol).rank for tol in (1e-2, 1e-5, 1e-9)]
+        assert ranks == sorted(ranks)
+
+    def test_max_rank(self):
+        a = random_rank_k(30, 30, 10, seed=14)
+        dec = row_id(a, rel_tol=1e-12, max_rank=3)
+        assert dec.rank == 3
+
+    def test_zero_matrix_rank_zero(self):
+        dec = row_id(np.zeros((20, 10)), rel_tol=1e-8)
+        assert dec.rank == 0
+        assert dec.interpolation.shape == (20, 0)
+
+    def test_column_id(self):
+        a = random_rank_k(20, 35, 6, seed=15)
+        skeleton, coeffs, rank = column_id(a, rel_tol=1e-10)
+        assert rank == 6
+        assert np.allclose(a[:, skeleton] @ coeffs, a, atol=1e-7)
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            row_id(np.zeros(5))
+
+    @given(
+        m=st.integers(5, 40),
+        n=st.integers(5, 40),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_exact_recovery(self, m, n, k, seed):
+        k = min(k, m, n)
+        a = random_rank_k(m, n, k, seed=seed)
+        dec = row_id(a, rel_tol=1e-9)
+        assert dec.rank <= min(m, n)
+        recon = dec.reconstruct(a[dec.skeleton])
+        assert np.linalg.norm(recon - a) <= 1e-6 * max(np.linalg.norm(a), 1.0)
+
+
+class TestLowRank:
+    def test_shapes_and_rank(self):
+        lr = random_low_rank(30, 4, seed=0)
+        assert lr.shape == (30, 30)
+        assert lr.rank == 4
+
+    def test_matvec_matches_dense(self):
+        lr = random_low_rank(25, 3, seed=1)
+        x = np.random.default_rng(2).standard_normal((25, 5))
+        assert np.allclose(lr.matvec(x), lr.to_dense() @ x)
+        assert np.allclose(lr.rmatvec(x), lr.to_dense().T @ x)
+
+    def test_entries(self):
+        lr = random_low_rank(20, 2, seed=3)
+        rows = np.array([1, 5, 7])
+        cols = np.array([0, 19])
+        assert np.allclose(lr.entries(rows, cols), lr.to_dense()[np.ix_(rows, cols)])
+
+    def test_frobenius_norm(self):
+        lr = random_low_rank(40, 5, seed=4)
+        assert lr.frobenius_norm() == pytest.approx(np.linalg.norm(lr.to_dense()), rel=1e-10)
+
+    def test_symmetric_generation(self):
+        lr = random_low_rank(15, 3, seed=5, symmetric=True)
+        dense = lr.to_dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_symmetrized(self):
+        lr = random_low_rank(15, 3, seed=6)
+        sym = lr.symmetrized()
+        assert np.allclose(sym.to_dense(), 0.5 * (lr.to_dense() + lr.to_dense().T))
+        assert sym.rank == 6
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LowRankMatrix(np.zeros((5, 2)), np.zeros((5, 3)))
+
+    def test_invalid_random_args(self):
+        with pytest.raises(ValueError):
+            random_low_rank(0, 3)
+        with pytest.raises(ValueError):
+            random_low_rank(5, 0)
+
+
+class TestNormEstimation:
+    def test_spectral_norm_of_diagonal(self):
+        d = np.diag(np.array([5.0, 2.0, 1.0, 0.1]))
+        est = estimate_spectral_norm(lambda x: d @ x, 4, num_iterations=30, seed=0)
+        assert est == pytest.approx(5.0, rel=1e-3)
+
+    def test_spectral_norm_nonsymmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((30, 30))
+        est = estimate_spectral_norm(
+            lambda x: a @ x, 30, rmatvec=lambda x: a.T @ x, num_iterations=60, seed=2
+        )
+        assert est == pytest.approx(np.linalg.norm(a, 2), rel=5e-2)
+
+    def test_zero_operator(self):
+        est = estimate_spectral_norm(lambda x: 0.0 * x, 10, num_iterations=5, seed=3)
+        assert est == 0.0
+
+    def test_relative_error_zero_for_identical(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((20, 20))
+        err = estimate_relative_error(lambda x: a @ x, lambda x: a @ x, 20, seed=5)
+        assert err < 1e-12
+
+    def test_relative_error_detects_perturbation(self):
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((40, 40))
+        e = 1e-3 * rng.standard_normal((40, 40))
+        err = estimate_relative_error(
+            lambda x: a @ x, lambda x: (a + e) @ x, 40, num_iterations=20, seed=7
+        )
+        exact = np.linalg.norm(e, 2) / np.linalg.norm(a, 2)
+        assert 0.2 * exact <= err <= 5 * exact
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            estimate_spectral_norm(lambda x: x, 0)

@@ -1,0 +1,141 @@
+"""Tests for the multifrontal substrate (Poisson, nested dissection, frontal matrices)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    ClusterTree,
+    ConstructionConfig,
+    DenseEntryExtractor,
+    DenseOperator,
+    GeneralAdmissibility,
+    H2Constructor,
+    build_block_partition,
+)
+from repro.multifrontal import (
+    nested_dissection,
+    poisson_grid_points,
+    poisson_matrix,
+    root_frontal_matrix,
+    schur_complement,
+)
+from repro.multifrontal.poisson import grid_coordinates, grid_index
+
+
+class TestPoisson:
+    def test_1d_matrix(self):
+        a = poisson_matrix((5,)).toarray()
+        assert np.allclose(np.diag(a), 2.0)
+        assert np.allclose(np.diag(a, 1), -1.0)
+
+    def test_2d_row_sums_interior(self):
+        a = poisson_matrix((5, 5)).toarray()
+        assert np.allclose(np.diag(a), 4.0)
+        # interior point (2,2) has 4 off-diagonal -1 entries
+        idx = grid_index((5, 5), np.array([2, 2]))[0]
+        assert a[idx].sum() == pytest.approx(0.0)
+
+    def test_3d_diagonal(self):
+        a = poisson_matrix((4, 4, 4))
+        assert np.allclose(a.diagonal(), 6.0)
+
+    def test_symmetric_positive_definite(self):
+        a = poisson_matrix((6, 5)).toarray()
+        assert np.allclose(a, a.T)
+        assert np.linalg.eigvalsh(a).min() > 0
+
+    def test_grid_points_match_dimension(self):
+        pts = poisson_grid_points((3, 4, 5))
+        assert pts.shape == (60, 3)
+
+    def test_grid_index_and_coordinates_roundtrip(self):
+        shape = (3, 4, 2)
+        coords = np.stack(grid_coordinates(shape), axis=1)
+        idx = grid_index(shape, coords)
+        assert np.array_equal(idx, np.arange(np.prod(shape)))
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            poisson_matrix((0, 3))
+        with pytest.raises(ValueError):
+            poisson_matrix((2, 2, 2, 2))
+
+
+class TestNestedDissection:
+    def test_permutation_valid(self):
+        nd = nested_dissection((9, 9), max_levels=3)
+        assert np.array_equal(np.sort(nd.permutation), np.arange(81))
+
+    def test_top_separator_is_plane(self):
+        nd = nested_dissection((9, 9, 9), max_levels=1)
+        sep = nd.top_separator()
+        assert sep.level == 0
+        assert sep.indices.shape[0] == 81  # a full 9x9 plane
+
+    def test_separator_disconnects_halves(self):
+        shape = (7, 7)
+        a = poisson_matrix(shape).tolil()
+        nd = nested_dissection(shape, max_levels=1)
+        sep = set(nd.top_separator().indices.tolist())
+        remaining = [i for i in range(49) if i not in sep]
+        sub = a[np.ix_(remaining, remaining)].tocsr()
+        n_components = sp.csgraph.connected_components(sub, directed=False)[0]
+        assert n_components >= 2
+
+    def test_multiple_levels(self):
+        nd = nested_dissection((15, 15), max_levels=3)
+        assert nd.num_levels == 3
+        assert len(nd.separators_at_level(0)) == 1
+        assert len(nd.separators_at_level(1)) == 2
+        assert len(nd.separators_at_level(2)) == 4
+
+    def test_separators_are_disjoint(self):
+        nd = nested_dissection((11, 11), max_levels=3)
+        all_indices = np.concatenate([s.indices for s in nd.separators])
+        assert np.unique(all_indices).shape[0] == all_indices.shape[0]
+
+
+class TestFrontalMatrices:
+    def test_schur_complement_definition(self):
+        a = poisson_matrix((4, 4))
+        separator = np.array([5, 6, 9, 10])
+        dense = a.toarray()
+        mask = np.ones(16, dtype=bool)
+        mask[separator] = False
+        interior = np.nonzero(mask)[0]
+        expected = dense[np.ix_(separator, separator)] - dense[
+            np.ix_(separator, interior)
+        ] @ np.linalg.solve(dense[np.ix_(interior, interior)], dense[np.ix_(interior, separator)])
+        assert np.allclose(schur_complement(a, separator), expected, atol=1e-10)
+
+    def test_schur_no_interior(self):
+        a = poisson_matrix((3, 3))
+        separator = np.arange(9)
+        assert np.allclose(
+            schur_complement(a, separator, interior=np.zeros(0, dtype=int)), a.toarray()
+        )
+
+    def test_root_frontal_matrix_properties(self):
+        front = root_frontal_matrix((8, 8, 8))
+        assert front.size == 64
+        assert front.points.shape == (64, 3)
+        f = front.matrix
+        assert np.allclose(f, f.T, atol=1e-10)
+        # the Schur complement of an SPD matrix is SPD
+        assert np.linalg.eigvalsh(f).min() > 0
+
+    def test_frontal_matrix_is_compressible(self, rel_err):
+        """The frontal matrix must compress well with the H2 constructor (Fig. 6b)."""
+        front = root_frontal_matrix((10, 10, 10))
+        tree = ClusterTree.build(front.points, leaf_size=16)
+        partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+        dense = front.matrix[np.ix_(tree.perm, tree.perm)]
+        result = H2Constructor(
+            partition,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            ConstructionConfig(tolerance=1e-6, sample_block_size=16),
+            seed=0,
+        ).construct()
+        assert rel_err(result.matrix.to_dense(permuted=True), dense) < 1e-4

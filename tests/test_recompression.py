@@ -1,0 +1,72 @@
+"""Tests of H2 recompression and the H2 + low-rank update application."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConstructionConfig,
+    H2Operator,
+    LowRankOperator,
+    SumOperator,
+    random_low_rank,
+    recompress_h2,
+)
+from repro.core.recompression import low_rank_update_reference_matvec
+
+
+class TestPlainRecompression:
+    def test_recompress_without_update(self, cov_h2, dense_cov_2d, rel_err):
+        cfg = ConstructionConfig(tolerance=1e-6, sample_block_size=32)
+        result = recompress_h2(cov_h2, config=cfg, seed=3)
+        err = rel_err(result.matrix.to_dense(permuted=True), cov_h2.to_dense(permuted=True))
+        assert err < 1e-4
+        # and still close to the original dense matrix
+        assert rel_err(result.matrix.to_dense(permuted=True), dense_cov_2d) < 1e-4
+
+    def test_recompression_statistics(self, cov_h2):
+        cfg = ConstructionConfig(tolerance=1e-6, sample_block_size=32)
+        result = recompress_h2(cov_h2, config=cfg, seed=4)
+        assert result.total_samples > 0
+        assert result.entries_evaluated > 0
+        assert result.matrix.partition is cov_h2.partition
+
+
+class TestLowRankUpdate:
+    def test_update_accuracy(self, cov_h2, rel_err):
+        n = cov_h2.num_rows
+        update = random_low_rank(n, 16, seed=7, symmetric=True, scale=0.5)
+        cfg = ConstructionConfig(tolerance=1e-6, sample_block_size=32)
+        result = recompress_h2(cov_h2, update, config=cfg, seed=8)
+        reference = cov_h2.to_dense(permuted=True) + update.to_dense()
+        assert rel_err(result.matrix.to_dense(permuted=True), reference) < 1e-4
+
+    def test_update_changes_matrix(self, cov_h2, rel_err):
+        n = cov_h2.num_rows
+        update = random_low_rank(n, 8, seed=9, symmetric=True, scale=1.0)
+        cfg = ConstructionConfig(tolerance=1e-6, sample_block_size=32)
+        result = recompress_h2(cov_h2, update, config=cfg, seed=10)
+        # result should NOT equal the original (the update is not negligible)
+        diff = rel_err(
+            result.matrix.to_dense(permuted=True), cov_h2.to_dense(permuted=True)
+        )
+        assert diff > 1e-4
+
+    def test_reference_matvec_helper(self, cov_h2):
+        n = cov_h2.num_rows
+        update = random_low_rank(n, 4, seed=11, symmetric=True)
+        matvec = low_rank_update_reference_matvec(cov_h2, update)
+        x = np.random.default_rng(0).standard_normal(n)
+        expected = cov_h2.matvec(x, permuted=True) + update.matvec(x)
+        assert np.allclose(matvec(x), expected)
+
+    def test_sum_operator_equivalence(self, cov_h2):
+        n = cov_h2.num_rows
+        update = random_low_rank(n, 4, seed=12, symmetric=True)
+        op = SumOperator([H2Operator(cov_h2), LowRankOperator(update)])
+        x = np.random.default_rng(1).standard_normal((n, 3))
+        expected = cov_h2.matvec(x, permuted=True) + update.matvec(x)
+        assert np.allclose(op.multiply(x), expected)
+
+    def test_dimension_validation(self, cov_h2):
+        with pytest.raises(ValueError):
+            recompress_h2(cov_h2, random_low_rank(cov_h2.num_rows + 1, 4, seed=13))

@@ -1,0 +1,156 @@
+"""Tests for sketching operators and entry extractors."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DenseEntryExtractor,
+    DenseOperator,
+    H2EntryExtractor,
+    H2Operator,
+    KernelEntryExtractor,
+    KernelLaunchCounter,
+    KernelMatVecOperator,
+    LowRankEntryExtractor,
+    LowRankOperator,
+    SumEntryExtractor,
+    SumOperator,
+    random_low_rank,
+)
+
+
+class TestOperators:
+    def test_dense_operator_multiply(self, dense_cov_2d):
+        op = DenseOperator(dense_cov_2d)
+        rng = np.random.default_rng(0)
+        omega = rng.standard_normal((op.n, 4))
+        assert np.allclose(op.multiply(omega), dense_cov_2d @ omega)
+
+    def test_statistics_tracking(self, dense_cov_2d):
+        op = DenseOperator(dense_cov_2d)
+        rng = np.random.default_rng(1)
+        op.multiply(rng.standard_normal((op.n, 3)))
+        op.multiply(rng.standard_normal((op.n, 5)))
+        assert op.samples_taken == 8
+        assert op.applications == 2
+        op.reset_statistics()
+        assert op.samples_taken == 0 and op.applications == 0
+
+    def test_matvec_does_not_count_samples(self, dense_cov_2d):
+        op = DenseOperator(dense_cov_2d)
+        op.matvec(np.ones(op.n))
+        assert op.samples_taken == 0
+
+    def test_vector_input_promoted(self, dense_cov_2d):
+        op = DenseOperator(dense_cov_2d)
+        x = np.ones(op.n)
+        assert op.multiply(x).shape == (op.n, 1)
+        assert op.matvec(x).shape == (op.n,)
+
+    def test_dimension_mismatch_raises(self, dense_cov_2d):
+        op = DenseOperator(dense_cov_2d)
+        with pytest.raises(ValueError):
+            op.multiply(np.ones((op.n + 1, 2)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            DenseOperator(np.zeros((3, 4)))
+
+    def test_kernel_matvec_operator_matches_dense(self, tree_2d, exp_kernel, dense_cov_2d):
+        op = KernelMatVecOperator(exp_kernel, tree_2d.points, row_block=100)
+        rng = np.random.default_rng(2)
+        omega = rng.standard_normal((op.n, 3))
+        assert np.allclose(op.multiply(omega), dense_cov_2d @ omega, atol=1e-10)
+
+    def test_low_rank_operator(self):
+        lr = random_low_rank(40, 3, seed=3)
+        op = LowRankOperator(lr)
+        x = np.random.default_rng(4).standard_normal((40, 2))
+        assert np.allclose(op.multiply(x), lr.to_dense() @ x)
+
+    def test_sum_operator(self, dense_cov_2d):
+        lr = random_low_rank(dense_cov_2d.shape[0], 4, seed=5)
+        op = SumOperator([DenseOperator(dense_cov_2d), LowRankOperator(lr)])
+        x = np.random.default_rng(6).standard_normal((op.n, 3))
+        assert np.allclose(op.multiply(x), dense_cov_2d @ x + lr.to_dense() @ x)
+
+    def test_sum_operator_validation(self, dense_cov_2d):
+        with pytest.raises(ValueError):
+            SumOperator([])
+        with pytest.raises(ValueError):
+            SumOperator([DenseOperator(dense_cov_2d), LowRankOperator(random_low_rank(3, 1))])
+
+    def test_h2_operator_matches_matrix(self, cov_h2):
+        op = H2Operator(cov_h2)
+        x = np.random.default_rng(7).standard_normal((op.n, 2))
+        assert np.allclose(op.multiply(x), cov_h2.matvec(x, permuted=True))
+
+
+class TestEntryExtractors:
+    def test_dense_extractor(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        rows = np.array([0, 5, 11])
+        cols = np.array([2, 3])
+        assert np.allclose(ex.extract(rows, cols), dense_cov_2d[np.ix_(rows, cols)])
+
+    def test_kernel_extractor_matches_dense(self, tree_2d, exp_kernel, dense_cov_2d):
+        ex = KernelEntryExtractor(exp_kernel, tree_2d.points)
+        rows = np.arange(10)
+        cols = np.arange(20, 35)
+        assert np.allclose(ex.extract(rows, cols), dense_cov_2d[np.ix_(rows, cols)], atol=1e-12)
+
+    def test_entries_evaluated_counter(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        ex.extract(np.arange(4), np.arange(6))
+        ex.extract(np.arange(2), np.arange(3))
+        assert ex.entries_evaluated == 24 + 6
+
+    def test_empty_request(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        out = ex.extract(np.zeros(0, dtype=np.int64), np.arange(5))
+        assert out.shape == (0, 5)
+
+    def test_extract_blocks_counts_one_launch(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        counter = KernelLaunchCounter()
+        blocks = ex.extract_blocks(
+            [(np.arange(3), np.arange(4)), (np.arange(5), np.arange(2))],
+            counter=counter,
+        )
+        assert len(blocks) == 2
+        assert counter.by_operation()["batched_gen"] == 1
+
+    def test_low_rank_extractor(self):
+        lr = random_low_rank(30, 3, seed=8)
+        ex = LowRankEntryExtractor(lr)
+        rows, cols = np.array([0, 7]), np.array([1, 2, 29])
+        assert np.allclose(ex.extract(rows, cols), lr.to_dense()[np.ix_(rows, cols)])
+
+    def test_sum_extractor(self, dense_cov_2d):
+        lr = random_low_rank(dense_cov_2d.shape[0], 2, seed=9)
+        ex = SumEntryExtractor(
+            [DenseEntryExtractor(dense_cov_2d), LowRankEntryExtractor(lr)]
+        )
+        rows, cols = np.arange(5), np.arange(10, 14)
+        expected = (dense_cov_2d + lr.to_dense())[np.ix_(rows, cols)]
+        assert np.allclose(ex.extract(rows, cols), expected)
+
+    def test_sum_extractor_validation(self, dense_cov_2d):
+        with pytest.raises(ValueError):
+            SumEntryExtractor([])
+        with pytest.raises(ValueError):
+            SumEntryExtractor(
+                [DenseEntryExtractor(dense_cov_2d), LowRankEntryExtractor(random_low_rank(3, 1))]
+            )
+
+    def test_callable_interface(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        assert np.allclose(ex(np.arange(2), np.arange(2)), dense_cov_2d[:2, :2])
+
+    def test_h2_extractor_matches_h2_block(self, cov_h2):
+        ex = H2EntryExtractor(cov_h2)
+        rows = np.arange(0, 40, 7)
+        cols = np.arange(100, 140, 5)
+        assert np.allclose(
+            ex.extract(rows, cols), cov_h2.get_block(rows, cols, permuted=True)
+        )

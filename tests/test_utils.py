@@ -1,0 +1,149 @@
+"""Tests for repro.utils: prefix sums, timers, validation and RNG helpers."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    PhaseTimer,
+    Timer,
+    as_generator,
+    check_positive,
+    check_square,
+    exclusive_prefix_sum,
+    offsets_from_sizes,
+    require,
+    spawn_generator,
+    total_from_sizes,
+)
+from repro.utils.validation import as_index_array
+
+
+class TestPrefixSum:
+    def test_basic(self):
+        assert exclusive_prefix_sum([2, 3, 1]).tolist() == [0, 2, 5]
+
+    def test_empty(self):
+        assert exclusive_prefix_sum([]).shape == (0,)
+        assert total_from_sizes([]) == 0
+
+    def test_single(self):
+        offsets, total = offsets_from_sizes([7])
+        assert offsets.tolist() == [0]
+        assert total == 7
+
+    def test_offsets_and_total(self):
+        offsets, total = offsets_from_sizes([4, 0, 2])
+        assert offsets.tolist() == [0, 4, 4]
+        assert total == 6
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            exclusive_prefix_sum([[1, 2]])
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30))
+    def test_matches_numpy_cumsum(self, sizes):
+        offsets, total = offsets_from_sizes(sizes)
+        expected = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        assert np.array_equal(offsets, expected)
+        assert total == sum(sizes)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30))
+    def test_offsets_monotone(self, sizes):
+        offsets, total = offsets_from_sizes(sizes)
+        assert np.all(np.diff(offsets) >= 0)
+        assert total >= int(offsets[-1])
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.01)
+        first = timer.elapsed
+        with timer.measure():
+            time.sleep(0.01)
+        assert timer.elapsed > first >= 0.005
+
+    def test_timer_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+
+    def test_timer_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_phase_timer_accumulates_and_percentages(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.005)
+        with timer.phase("b"):
+            time.sleep(0.005)
+        with timer.phase("a"):
+            time.sleep(0.005)
+        assert set(timer.phases) == {"a", "b"}
+        assert timer.phases["a"] > timer.phases["b"]
+        pct = timer.percentages()
+        assert abs(sum(pct.values()) - 100.0) < 1e-9
+
+    def test_phase_timer_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.phases == {"x": 3.0, "y": 3.0}
+        assert a.total() == 6.0
+
+    def test_empty_phase_timer(self):
+        timer = PhaseTimer()
+        assert timer.total() == 0.0
+        assert timer.percentages() == {}
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_check_positive(self):
+        check_positive(1, "x")
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-3.0, "x")
+
+    def test_check_square(self):
+        check_square(np.eye(3))
+        with pytest.raises(ValueError):
+            check_square(np.zeros((2, 3)))
+
+    def test_as_index_array(self):
+        out = as_index_array([1, 2, 3])
+        assert out.dtype == np.int64
+        with pytest.raises(ValueError):
+            as_index_array([[1, 2]])
+
+
+class TestRng:
+    def test_as_generator_passthrough(self):
+        rng = np.random.default_rng(3)
+        assert as_generator(rng) is rng
+
+    def test_as_generator_seeded_reproducible(self):
+        a = as_generator(42).standard_normal(5)
+        b = as_generator(42).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_generator_independent_streams(self):
+        rng = np.random.default_rng(0)
+        a = spawn_generator(rng, 0).standard_normal(8)
+        rng = np.random.default_rng(0)
+        b = spawn_generator(rng, 1).standard_normal(8)
+        assert not np.array_equal(a, b)
