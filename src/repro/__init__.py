@@ -28,6 +28,15 @@ Quickstart
 >>> result = H2Constructor(partition, operator, extractor,
 ...                        ConstructionConfig(tolerance=1e-6)).construct()
 >>> h2 = result.matrix          # H2 matrix: h2.matvec(x), h2.memory_bytes(), ...
+
+Solving linear systems with constructed matrices (see the top-level README.md
+for the full walk-through)
+--------------------------------------------------------------------------
+>>> from repro import HierarchicalPreconditioner, cg
+>>> M = HierarchicalPreconditioner.from_operator(tree, operator, extractor,
+...                                              tolerance=1e-2)
+>>> b = np.ones(tree.num_points)
+>>> solve = cg(h2, b, tol=1e-8, M=M)   # solve.x, solve.iterations, ...
 """
 
 from .batched import (
@@ -47,8 +56,10 @@ from .core import (
 )
 from .diagnostics import (
     construction_error,
+    convergence_table,
     memory_report,
     phase_breakdown,
+    residual_series,
 )
 from .geometry import (
     BoundingBox,
@@ -62,8 +73,11 @@ from .hmatrix import (
     H2Matrix,
     HMatrix,
     HODLRMatrix,
+    LinearOperator,
+    as_linear_operator,
     build_hodlr,
     build_hss,
+    hodlr_from_h2,
 )
 from .kernels import (
     ExponentialKernel,
@@ -94,6 +108,16 @@ from .sketching import (
     SketchingOperator,
     SumEntryExtractor,
     SumOperator,
+)
+from .solvers import (
+    FrontReport,
+    HierarchicalPreconditioner,
+    HODLRFactorization,
+    KrylovResult,
+    MultifrontalSolver,
+    bicgstab,
+    cg,
+    gmres,
 )
 from .tree import (
     BlockPartition,
@@ -159,7 +183,19 @@ __all__ = [
     "HMatrix",
     "HODLRMatrix",
     "build_hodlr",
+    "hodlr_from_h2",
     "build_hss",
+    "LinearOperator",
+    "as_linear_operator",
+    # solvers
+    "cg",
+    "gmres",
+    "bicgstab",
+    "KrylovResult",
+    "HODLRFactorization",
+    "HierarchicalPreconditioner",
+    "MultifrontalSolver",
+    "FrontReport",
     # core algorithm
     "H2Constructor",
     "ConstructionConfig",
@@ -169,4 +205,6 @@ __all__ = [
     "construction_error",
     "memory_report",
     "phase_breakdown",
+    "convergence_table",
+    "residual_series",
 ]

@@ -4,6 +4,7 @@ from .error import construction_error, dense_relative_error
 from .memory import MemoryReport, memory_report
 from .profiling import PhaseBreakdown, phase_breakdown
 from .reporting import format_table, format_series
+from .solver_report import convergence_table, residual_series
 
 __all__ = [
     "construction_error",
@@ -14,4 +15,6 @@ __all__ = [
     "phase_breakdown",
     "format_table",
     "format_series",
+    "convergence_table",
+    "residual_series",
 ]

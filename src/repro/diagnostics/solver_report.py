@@ -1,0 +1,76 @@
+"""Convergence reporting for the Krylov solver subsystem.
+
+Renders :class:`~repro.solvers.krylov.KrylovResult` objects (anything with the
+same attribute surface works) with the same dependency-free fixed-width tables
+the benchmark harness uses for the paper figures: one summary row per solver
+run, and optionally the iteration-by-iteration residual series for
+convergence plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .reporting import format_series, format_table
+
+
+def convergence_table(
+    results: Mapping[str, object] | Sequence[object],
+    title: str | None = "solver convergence",
+) -> str:
+    """One summary row per solve: iterations, matvecs, final residual, time.
+
+    ``results`` maps a label to a result object, or is a sequence of results
+    (labelled by their ``method`` attribute).
+    """
+    if not isinstance(results, Mapping):
+        labelled = {}
+        for i, r in enumerate(results):
+            label = getattr(r, "method", f"run{i}")
+            if label in labelled:  # two runs of the same method: keep both rows
+                label = f"{label} #{i}"
+            labelled[label] = r
+        results = labelled
+    rows = []
+    for label, r in results.items():
+        rows.append(
+            [
+                label,
+                getattr(r, "method", "?"),
+                int(getattr(r, "iterations", 0)),
+                int(getattr(r, "matvecs", 0)),
+                int(getattr(r, "preconditioner_applications", 0)),
+                float(getattr(r, "final_residual", np.nan)),
+                "yes" if getattr(r, "converged", False) else "NO",
+                float(getattr(r, "elapsed_seconds", 0.0)),
+            ]
+        )
+    return format_table(
+        ["label", "method", "iters", "matvecs", "M applies", "rel resid", "conv", "time s"],
+        rows,
+        title=title,
+        float_format="{:.3g}",
+    )
+
+
+def residual_series(
+    results: Mapping[str, object],
+    every: int = 1,
+    title: str | None = "relative residual per iteration",
+) -> str:
+    """The residual histories of several runs as one iteration-indexed table.
+
+    ``every`` thins long histories (every ``k``-th iteration is printed; the
+    first and last iterations are always kept).
+    """
+    every = max(1, int(every))
+    series = {}
+    for label, r in results.items():
+        history = np.asarray(getattr(r, "residual_norms"), dtype=np.float64)
+        if history.size == 0:
+            continue
+        keep = {0, history.size - 1} | set(range(0, history.size, every))
+        series[label] = {int(i): float(history[i]) for i in sorted(keep)}
+    return format_series("iteration", series, title=title, float_format="{:.3e}")

@@ -4,8 +4,9 @@ from .aca import aca_low_rank
 from .basis_tree import BasisTree
 from .h2matrix import H2Matrix
 from .hmatrix import HMatrix
-from .hodlr import HODLRMatrix, build_hodlr
+from .hodlr import HODLRMatrix, build_hodlr, hodlr_from_h2
 from .hss import build_hss
+from .linear_operator import LinearOperator, as_linear_operator
 
 __all__ = [
     "BasisTree",
@@ -13,6 +14,9 @@ __all__ = [
     "HMatrix",
     "HODLRMatrix",
     "build_hodlr",
+    "hodlr_from_h2",
     "build_hss",
     "aca_low_rank",
+    "LinearOperator",
+    "as_linear_operator",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 from ..linalg.low_rank import LowRankMatrix
 from ..tree.cluster_tree import ClusterTree
 from .aca import aca_from_entry_function
+from .h2matrix import H2Matrix
 
 EntryFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
@@ -125,4 +126,38 @@ def build_hodlr(
     for leaf in tree.leaves():
         rows = tree.index_set(leaf)
         hodlr.diagonal[leaf] = entries(rows, rows)
+    return hodlr
+
+
+def hodlr_from_h2(h2: H2Matrix) -> HODLRMatrix:
+    """Flatten a weak-admissibility (HSS) :class:`H2Matrix` into HODLR form.
+
+    The sketching constructor run with
+    :class:`~repro.tree.admissibility.WeakAdmissibility` produces nested bases
+    on the HODLR partition; expanding every coupling block ``B_{s,t}`` with the
+    explicit bases ``U_s B_{s,t} U_t^T`` yields the equivalent (non-nested)
+    HODLR matrix.  This is the bridge between the paper's constructor and the
+    HODLR factorization of :mod:`repro.solvers.hodlr_factor`: the loss of
+    nestedness costs memory but buys a direct solve.
+
+    Raises :class:`ValueError` when the H2 matrix does not live on the weak
+    partition (off-diagonal dense blocks or non-sibling coupling blocks).
+    """
+    tree = h2.tree
+    hodlr = HODLRMatrix(tree=tree)
+    for (s, t), block in h2.dense.items():
+        if s != t:
+            raise ValueError(
+                f"dense off-diagonal block ({s}, {t}): matrix is not on the weak partition"
+            )
+        hodlr.diagonal[s] = np.array(block, dtype=np.float64)
+    for (s, t), b in h2.coupling.items():
+        if s == 0 or t == 0 or tree.parent(s) != tree.parent(t):
+            raise ValueError(
+                f"coupling block ({s}, {t}) is not a sibling pair: "
+                "matrix is not on the weak partition"
+            )
+        left = h2.basis.explicit_basis(s) @ b
+        right = h2.basis.explicit_basis(t)
+        hodlr.off_diagonal[(s, t)] = LowRankMatrix(left, right)
     return hodlr

@@ -1,0 +1,97 @@
+"""A minimal linear-operator abstraction shared by every matrix format.
+
+The solver subsystem (:mod:`repro.solvers`) is matrix-free: Krylov methods and
+norm estimators only ever apply ``A @ x``.  This module provides the single
+adapter that turns *anything the library produces* — an :class:`~repro.hmatrix.h2matrix.H2Matrix`,
+:class:`~repro.hmatrix.hodlr.HODLRMatrix`, :class:`~repro.hmatrix.hmatrix.HMatrix`,
+:class:`~repro.linalg.low_rank.LowRankMatrix`, a sketching operator, a dense
+array, a SciPy sparse matrix or a bare callable — into a uniform object with
+``shape``, ``matvec`` and ``@``, so solvers never special-case formats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+class LinearOperator:
+    """A square linear operator defined by its action on (blocks of) vectors."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        matvec: MatVec,
+        rmatvec: Optional[MatVec] = None,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._matvec = matvec
+        self._rmatvec = rmatvec
+
+    @property
+    def n(self) -> int:
+        return self.shape[1]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the operator to a vector ``(n,)`` or block ``(n, k)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"operator has {self.shape[1]} columns, got input with {x.shape[0]} rows"
+            )
+        return np.asarray(self._matvec(x))
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the transpose ``A^T x`` (defaults to ``matvec`` when symmetric)."""
+        if self._rmatvec is None:
+            return self.matvec(x)
+        x = np.asarray(x, dtype=np.float64)
+        return np.asarray(self._rmatvec(x))
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+
+def as_linear_operator(a: object, n: int | None = None) -> LinearOperator:
+    """Adapt ``a`` to a :class:`LinearOperator`.
+
+    Accepted inputs, in the order they are recognised:
+
+    * an existing :class:`LinearOperator` (returned unchanged);
+    * any hierarchical format or low-rank matrix with ``.matvec`` and
+      ``.shape`` (``H2Matrix``, ``HODLRMatrix``, ``HMatrix``, ``LowRankMatrix``);
+    * a sketching operator (``.matvec`` and ``.n``);
+    * a dense :class:`numpy.ndarray` or a SciPy sparse matrix;
+    * a bare callable ``x -> A @ x`` together with the dimension ``n``.
+
+    Hierarchical formats act in the *original* point ordering (their
+    ``matvec`` default), so systems and right-hand sides never need manual
+    permutation.
+    """
+    if isinstance(a, LinearOperator):
+        return a
+    matvec = getattr(a, "matvec", None)
+    if callable(matvec):
+        shape = getattr(a, "shape", None)
+        if shape is None:
+            size = getattr(a, "n", None)
+            if size is None:
+                raise TypeError(f"cannot infer the dimension of {type(a).__name__}")
+            shape = (int(size), int(size))
+        rmatvec = getattr(a, "rmatvec", None)
+        return LinearOperator(tuple(shape), matvec, rmatvec if callable(rmatvec) else None)
+    if isinstance(a, np.ndarray):
+        if a.ndim != 2:
+            raise ValueError("dense operator must be a 2D array")
+        mat = np.asarray(a, dtype=np.float64)
+        return LinearOperator(mat.shape, lambda x: mat @ x, lambda x: mat.T @ x)
+    if hasattr(a, "shape") and hasattr(a, "dot"):  # SciPy sparse matrix
+        return LinearOperator(tuple(a.shape), lambda x: a @ x, lambda x: a.T @ x)
+    if callable(a):
+        if n is None:
+            raise ValueError("a bare callable operator requires the dimension n")
+        return LinearOperator((n, n), a)
+    raise TypeError(f"cannot interpret {type(a).__name__} as a linear operator")

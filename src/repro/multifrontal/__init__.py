@@ -6,6 +6,10 @@ compressing them with the proposed H2 algorithm against weak-admissibility
 formats (STRUMPACK's HSS/HODLR).  This package builds that substrate from
 scratch: the 7-point finite-difference operator, nested-dissection orderings
 of the grid graph, and exact Schur-complement frontal matrices of separators.
+
+:class:`repro.solvers.MultifrontalSolver` builds on this substrate to perform
+the actual multifrontal *solve*, optionally compressing the large fronts with
+the sketching constructor (the paper's application scenario).
 """
 
 from .frontal import FrontalMatrix, root_frontal_matrix, schur_complement

@@ -1,0 +1,32 @@
+"""Solver subsystem: Krylov methods + hierarchical factorization/preconditioning.
+
+Everything the library constructs (H2/HSS/HODLR/H matrices, sketching
+operators, dense and sparse matrices) plugs into the same three layers:
+
+* :mod:`~repro.solvers.krylov` — matrix-free CG / GMRES(m) / BiCGStab with
+  residual histories and pluggable preconditioners;
+* :mod:`~repro.solvers.hodlr_factor` — a recursive HODLR/HSS factorization
+  (block elimination + Woodbury) giving near-linear direct solves and
+  log-determinants for weak-admissibility output of the constructor;
+* :mod:`~repro.solvers.preconditioner` — loose sketched constructions applied
+  as ``M^{-1}`` inside the Krylov loop;
+* :mod:`~repro.solvers.multifrontal_solve` — a nested-dissection sparse solve
+  whose large fronts are compressed with the sketching constructor (the
+  paper's application scenario).
+"""
+
+from .hodlr_factor import HODLRFactorization
+from .krylov import KrylovResult, bicgstab, cg, gmres
+from .multifrontal_solve import FrontReport, MultifrontalSolver
+from .preconditioner import HierarchicalPreconditioner
+
+__all__ = [
+    "cg",
+    "gmres",
+    "bicgstab",
+    "KrylovResult",
+    "HODLRFactorization",
+    "HierarchicalPreconditioner",
+    "MultifrontalSolver",
+    "FrontReport",
+]

@@ -1,0 +1,357 @@
+"""Matrix-free Krylov solvers: CG, restarted GMRES and BiCGStab.
+
+The constructed hierarchical matrices are fast operators; these solvers turn
+them into linear-system workloads (kernel regression, integral equations,
+sparse PDE systems) without ever forming a dense matrix.  All three methods
+
+* accept anything :func:`repro.hmatrix.linear_operator.as_linear_operator`
+  understands as the system operator,
+* accept a pluggable preconditioner (``None``, a callable ``x -> M^{-1} x``, or
+  an object with ``solve``/``matvec`` such as
+  :class:`repro.solvers.preconditioner.HierarchicalPreconditioner` or a
+  :class:`repro.solvers.hodlr_factor.HODLRFactorization`),
+* record the full relative-residual history in a :class:`KrylovResult` for the
+  convergence diagnostics.
+
+Convergence is declared when ``||b - A x|| / ||b|| <= tol`` (true residual for
+CG/BiCGStab; for GMRES the recurrence residual, which coincides with the true
+residual of the right-preconditioned system).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..hmatrix.linear_operator import LinearOperator, as_linear_operator
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class KrylovResult:
+    """Outcome of a Krylov solve: the iterate plus convergence statistics."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    #: Relative residual after every iteration; ``residual_norms[0]`` is the
+    #: initial residual (1.0 for a zero initial guess).
+    residual_norms: np.ndarray
+    method: str
+    matvecs: int
+    preconditioner_applications: int
+    elapsed_seconds: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def final_residual(self) -> float:
+        return float(self.residual_norms[-1]) if self.residual_norms.size else np.inf
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "n": int(self.x.shape[0]),
+            "iterations": self.iterations,
+            "matvecs": self.matvecs,
+            "precond_applies": self.preconditioner_applications,
+            "final_residual": self.final_residual,
+            "converged": self.converged,
+            "time_s": self.elapsed_seconds,
+        }
+
+
+class _Preconditioner:
+    """Normalise the accepted preconditioner inputs and count applications."""
+
+    def __init__(self, m: object | None):
+        self.applications = 0
+        if m is None:
+            self._apply: Optional[MatVec] = None
+        elif callable(getattr(m, "solve", None)):
+            self._apply = m.solve  # factorization / preconditioner object
+        elif isinstance(m, (np.ndarray, LinearOperator)) or hasattr(m, "matvec"):
+            op = as_linear_operator(m)
+            self._apply = op.matvec  # an explicit operator approximating A^{-1}
+        elif callable(m):
+            self._apply = m
+        else:
+            raise TypeError(f"cannot interpret {type(m).__name__} as a preconditioner")
+
+    @property
+    def is_identity(self) -> bool:
+        return self._apply is None
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self._apply is None:
+            return x
+        self.applications += 1
+        return np.asarray(self._apply(x)).reshape(x.shape)
+
+
+def _prepare(a: object, b: np.ndarray, x0: np.ndarray | None):
+    op = as_linear_operator(a, n=np.asarray(b).shape[0])
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if op.shape != (b.shape[0], b.shape[0]):
+        raise ValueError(
+            f"operator shape {op.shape} incompatible with right-hand side of length {b.shape[0]}"
+        )
+    x = (
+        np.zeros_like(b)
+        if x0 is None
+        else np.array(x0, dtype=np.float64).reshape(b.shape)
+    )
+    return op, b, x
+
+
+def _result(
+    method: str,
+    x: np.ndarray,
+    history: List[float],
+    converged: bool,
+    matvecs: int,
+    precond: _Preconditioner,
+    start: float,
+    **extra: object,
+) -> KrylovResult:
+    return KrylovResult(
+        x=x,
+        converged=converged,
+        iterations=max(0, len(history) - 1),
+        residual_norms=np.asarray(history, dtype=np.float64),
+        method=method,
+        matvecs=matvecs,
+        preconditioner_applications=precond.applications,
+        elapsed_seconds=time.perf_counter() - start,
+        extra=dict(extra),
+    )
+
+
+def cg(
+    a: object,
+    b: np.ndarray,
+    tol: float = 1e-8,
+    maxiter: int | None = None,
+    M: object | None = None,
+    x0: np.ndarray | None = None,
+    callback: Callable[[int, float], None] | None = None,
+) -> KrylovResult:
+    """Preconditioned conjugate gradients for a symmetric positive-definite ``a``."""
+    start = time.perf_counter()
+    op, b, x = _prepare(a, b, x0)
+    precond = _Preconditioner(M)
+    n = b.shape[0]
+    maxiter = n if maxiter is None else int(maxiter)
+
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return _result("cg", np.zeros_like(b), [0.0], True, 0, precond, start)
+
+    matvecs = 0
+    r = b - op.matvec(x) if x.any() else b.copy()
+    if x.any():
+        matvecs += 1
+    history = [float(np.linalg.norm(r)) / b_norm]
+    if history[0] <= tol:
+        return _result("cg", x, history, True, matvecs, precond, start)
+
+    z = precond(r)
+    p = z.copy()
+    rz = float(r @ z)
+    converged = False
+    for iteration in range(maxiter):
+        ap = op.matvec(p)
+        matvecs += 1
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            # Loss of positive definiteness (operator or preconditioner).
+            break
+        alpha = rz / denom
+        x = x + alpha * p
+        r = r - alpha * ap
+        rel = float(np.linalg.norm(r)) / b_norm
+        history.append(rel)
+        if callback is not None:
+            callback(iteration + 1, rel)
+        if rel <= tol:
+            converged = True
+            break
+        z = precond(r)
+        rz_next = float(r @ z)
+        p = z + (rz_next / rz) * p
+        rz = rz_next
+    return _result("cg", x, history, converged, matvecs, precond, start)
+
+
+def gmres(
+    a: object,
+    b: np.ndarray,
+    tol: float = 1e-8,
+    restart: int = 30,
+    maxiter: int | None = None,
+    M: object | None = None,
+    x0: np.ndarray | None = None,
+    callback: Callable[[int, float], None] | None = None,
+) -> KrylovResult:
+    """Right-preconditioned restarted GMRES(m) for a general square ``a``.
+
+    ``maxiter`` bounds the *total* number of inner iterations across restarts.
+    Right preconditioning solves ``A M^{-1} u = b`` with ``x = M^{-1} u``, so
+    the reported residuals are true residuals of the original system.
+    """
+    start = time.perf_counter()
+    op, b, x = _prepare(a, b, x0)
+    precond = _Preconditioner(M)
+    n = b.shape[0]
+    restart = max(1, min(int(restart), n))
+    maxiter = n if maxiter is None else int(maxiter)
+
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return _result("gmres", np.zeros_like(b), [0.0], True, 0, precond, start)
+
+    matvecs = 0
+    total_iterations = 0
+    history: List[float] = []
+    converged = False
+
+    while True:
+        r = b - op.matvec(x)
+        matvecs += 1
+        beta = float(np.linalg.norm(r))
+        rel_true = beta / b_norm
+        if not history:
+            history.append(rel_true)
+        else:
+            # Replace the recurrence estimate with the true residual at the
+            # restart boundary.
+            history[-1] = rel_true
+        if rel_true <= tol:
+            converged = True
+            break
+        if total_iterations >= maxiter:
+            break
+
+        # Arnoldi process on A M^{-1} with modified Gram-Schmidt.
+        v = np.zeros((n, restart + 1))
+        h = np.zeros((restart + 1, restart))
+        v[:, 0] = r / beta
+        e1 = np.zeros(restart + 1)
+        e1[0] = beta
+        inner = 0
+        y = np.zeros(0)
+        for j in range(restart):
+            if total_iterations >= maxiter:
+                break
+            w = op.matvec(precond(v[:, j]))
+            matvecs += 1
+            for i in range(j + 1):
+                h[i, j] = float(w @ v[:, i])
+                w = w - h[i, j] * v[:, i]
+            h[j + 1, j] = float(np.linalg.norm(w))
+            breakdown = h[j + 1, j] <= 1e-14 * beta
+            if not breakdown:
+                v[:, j + 1] = w / h[j + 1, j]
+            inner = j + 1
+            total_iterations += 1
+            y, residual = _least_squares_residual(h[: inner + 1, :inner], e1[: inner + 1])
+            rel = residual / b_norm
+            history.append(rel)
+            if callback is not None:
+                callback(total_iterations, rel)
+            if rel <= tol or breakdown:
+                break
+        if inner:
+            x = x + precond(v[:, :inner] @ y)
+        if history[-1] <= tol:
+            # Recompute the true residual on the final iterate at the top of
+            # the loop (one extra matvec) before declaring convergence.
+            continue
+        if total_iterations >= maxiter:
+            break
+    return _result(
+        "gmres", x, history, converged, matvecs, precond, start, restart=restart
+    )
+
+
+def _least_squares_residual(h: np.ndarray, rhs: np.ndarray):
+    """Solve the small Hessenberg least-squares problem and its residual norm."""
+    y, res, _, _ = np.linalg.lstsq(h, rhs, rcond=None)
+    if res.size:
+        return y, float(np.sqrt(res[0]))
+    return y, float(np.linalg.norm(h @ y - rhs))
+
+
+def bicgstab(
+    a: object,
+    b: np.ndarray,
+    tol: float = 1e-8,
+    maxiter: int | None = None,
+    M: object | None = None,
+    x0: np.ndarray | None = None,
+    callback: Callable[[int, float], None] | None = None,
+) -> KrylovResult:
+    """Preconditioned BiCGStab for a general square ``a`` (van der Vorst 1992)."""
+    start = time.perf_counter()
+    op, b, x = _prepare(a, b, x0)
+    precond = _Preconditioner(M)
+    n = b.shape[0]
+    maxiter = n if maxiter is None else int(maxiter)
+
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return _result("bicgstab", np.zeros_like(b), [0.0], True, 0, precond, start)
+
+    matvecs = 0
+    r = b - op.matvec(x) if x.any() else b.copy()
+    if x.any():
+        matvecs += 1
+    history = [float(np.linalg.norm(r)) / b_norm]
+    if history[0] <= tol:
+        return _result("bicgstab", x, history, True, matvecs, precond, start)
+
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    converged = False
+    for iteration in range(maxiter):
+        rho_next = float(r_hat @ r)
+        if rho_next == 0.0 or omega == 0.0:
+            break  # breakdown
+        beta = (rho_next / rho) * (alpha / omega)
+        rho = rho_next
+        p = r + beta * (p - omega * v)
+        p_hat = precond(p)
+        v = op.matvec(p_hat)
+        matvecs += 1
+        denom = float(r_hat @ v)
+        if denom == 0.0:
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        if float(np.linalg.norm(s)) / b_norm <= tol:
+            x = x + alpha * p_hat
+            history.append(float(np.linalg.norm(s)) / b_norm)
+            if callback is not None:
+                callback(iteration + 1, history[-1])
+            converged = True
+            break
+        s_hat = precond(s)
+        t = op.matvec(s_hat)
+        matvecs += 1
+        tt = float(t @ t)
+        omega = float(t @ s) / tt if tt > 0.0 else 0.0
+        x = x + alpha * p_hat + omega * s_hat
+        r = s - omega * t
+        rel = float(np.linalg.norm(r)) / b_norm
+        history.append(rel)
+        if callback is not None:
+            callback(iteration + 1, rel)
+        if rel <= tol:
+            converged = True
+            break
+    return _result("bicgstab", x, history, converged, matvecs, precond, start)

@@ -235,3 +235,42 @@ class TestNormEstimation:
     def test_invalid_dimension(self):
         with pytest.raises(ValueError):
             estimate_spectral_norm(lambda x: x, 0)
+
+    def test_rmatvec_defaulted_assumes_symmetry(self):
+        """Without rmatvec the power method runs on A A (not A^T A): exact for
+        symmetric operators, generally wrong for nonsymmetric ones."""
+        rng = np.random.default_rng(8)
+        sym = rng.standard_normal((25, 25))
+        sym = 0.5 * (sym + sym.T)
+        defaulted = estimate_spectral_norm(lambda x: sym @ x, 25, num_iterations=60, seed=9)
+        supplied = estimate_spectral_norm(
+            lambda x: sym @ x, 25, rmatvec=lambda x: sym.T @ x, num_iterations=60, seed=9
+        )
+        assert defaulted == pytest.approx(supplied, rel=1e-10)
+        assert defaulted == pytest.approx(np.linalg.norm(sym, 2), rel=1e-2)
+
+    def test_rmatvec_supplied_fixes_nonsymmetric_bias(self):
+        """A strongly non-normal matrix: the defaulted (symmetric) path
+        underestimates the spectral norm, the rmatvec path recovers it."""
+        a = np.array([[0.0, 100.0], [0.0, 0.01]])
+        supplied = estimate_spectral_norm(
+            lambda x: a @ x, 2, rmatvec=lambda x: a.T @ x, num_iterations=30, seed=10
+        )
+        defaulted = estimate_spectral_norm(lambda x: a @ x, 2, num_iterations=30, seed=10)
+        assert supplied == pytest.approx(np.linalg.norm(a, 2), rel=1e-6)
+        assert defaulted < 0.1 * supplied
+
+    def test_relative_error_seed_reproducibility(self):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((30, 30))
+        b = a + 1e-4 * rng.standard_normal((30, 30))
+        first = estimate_relative_error(lambda x: a @ x, lambda x: b @ x, 30, seed=12)
+        second = estimate_relative_error(lambda x: a @ x, lambda x: b @ x, 30, seed=12)
+        other = estimate_relative_error(lambda x: a @ x, lambda x: b @ x, 30, seed=13)
+        assert first == second
+        assert first > 0.0
+        # A different seed gives a (generally) different estimate of the same
+        # quantity — both must still be in the right ballpark.
+        exact = np.linalg.norm(a - b, 2) / np.linalg.norm(a, 2)
+        assert 0.2 * exact <= first <= 5 * exact
+        assert 0.2 * exact <= other <= 5 * exact

@@ -1,0 +1,468 @@
+"""Tests for the solver subsystem (Krylov, HODLR factorization, preconditioning,
+multifrontal solve) including the acceptance criteria on the 4096-point SPD
+covariance system."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro import (
+    ClusterTree,
+    DenseEntryExtractor,
+    DenseOperator,
+    ExponentialKernel,
+    HODLRFactorization,
+    HierarchicalPreconditioner,
+    LowRankMatrix,
+    MultifrontalSolver,
+    as_linear_operator,
+    bicgstab,
+    build_hodlr,
+    build_hss,
+    cg,
+    gmres,
+    hodlr_from_h2,
+    uniform_cube_points,
+)
+from repro.diagnostics import convergence_table, residual_series
+from repro.multifrontal import poisson_matrix
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    """A small dense SPD system."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((60, 60))
+    a = a @ a.T + 60.0 * np.eye(60)
+    b = rng.standard_normal(60)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def covariance_4096():
+    """The acceptance-criteria system: a 4096-point SPD covariance matrix.
+
+    Exponential covariance over 4096 2D points plus a small nugget; returned
+    in both the original ordering (``a``) and the cluster-tree ordering
+    (``a_perm``), together with the tree and a right-hand side.
+    """
+    n = 4096
+    points = uniform_cube_points(n, dim=2, seed=7)
+    tree = ClusterTree.build(points, leaf_size=64)
+    kernel = ExponentialKernel(length_scale=0.2)
+    a = kernel.matrix(points) + 0.01 * np.eye(n)
+    a_perm = a[np.ix_(tree.perm, tree.perm)]
+    b = np.random.default_rng(3).standard_normal(n)
+    return {"a": a, "a_perm": a_perm, "tree": tree, "b": b}
+
+
+class TestLinearOperatorAdapter:
+    def test_dense_array(self):
+        a = np.arange(9.0).reshape(3, 3)
+        op = as_linear_operator(a)
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(op @ x, a @ x)
+        assert np.allclose(op.rmatvec(x), a.T @ x)
+
+    def test_sparse_matrix(self):
+        a = poisson_matrix((4, 4))
+        op = as_linear_operator(a)
+        x = np.ones(16)
+        assert np.allclose(op.matvec(x), a @ x)
+
+    def test_h2_matrix(self, cov_h2):
+        op = as_linear_operator(cov_h2)
+        x = np.random.default_rng(1).standard_normal(op.n)
+        assert np.allclose(op.matvec(x), cov_h2.matvec(x))
+
+    def test_low_rank(self):
+        rng = np.random.default_rng(2)
+        lr = LowRankMatrix(rng.standard_normal((8, 2)), rng.standard_normal((8, 2)))
+        op = as_linear_operator(lr)
+        x = rng.standard_normal(8)
+        assert np.allclose(op @ x, lr.to_dense() @ x)
+
+    def test_callable_requires_dimension(self):
+        with pytest.raises(ValueError):
+            as_linear_operator(lambda x: x)
+        op = as_linear_operator(lambda x: 2.0 * x, n=5)
+        assert np.allclose(op.matvec(np.ones(5)), 2.0 * np.ones(5))
+
+    def test_block_input(self):
+        a = np.random.default_rng(3).standard_normal((6, 6))
+        x = np.random.default_rng(4).standard_normal((6, 3))
+        assert np.allclose(as_linear_operator(a).matvec(x), a @ x)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            as_linear_operator(np.eye(4)).matvec(np.ones(5))
+
+
+class TestKrylov:
+    @pytest.mark.parametrize("solver", [cg, gmres, bicgstab])
+    def test_solves_spd_system(self, solver, spd_system):
+        a, b = spd_system
+        result = solver(a, b, tol=1e-10, maxiter=300)
+        assert result.converged
+        assert np.linalg.norm(a @ result.x - b) / np.linalg.norm(b) < 1e-9
+        assert result.final_residual < 1e-10
+        assert result.matvecs > 0
+
+    @pytest.mark.parametrize("solver", [gmres, bicgstab])
+    def test_nonsymmetric_system(self, solver):
+        rng = np.random.default_rng(5)
+        a = np.eye(40) + 0.3 * rng.standard_normal((40, 40))
+        b = rng.standard_normal(40)
+        result = solver(a, b, tol=1e-9, maxiter=400, restart=40) if solver is gmres else solver(
+            a, b, tol=1e-9, maxiter=400
+        )
+        assert result.converged
+        assert np.linalg.norm(a @ result.x - b) / np.linalg.norm(b) < 1e-8
+
+    @pytest.mark.parametrize("solver", [cg, gmres, bicgstab])
+    def test_zero_rhs(self, solver, spd_system):
+        a, _ = spd_system
+        result = solver(a, np.zeros(60))
+        assert result.converged
+        assert result.iterations == 0
+        assert np.allclose(result.x, 0.0)
+
+    def test_residual_history_tracks_convergence(self, spd_system):
+        a, b = spd_system
+        result = cg(a, b, tol=1e-10)
+        assert result.residual_norms[0] == pytest.approx(1.0)
+        assert result.residual_norms[-1] <= 1e-10
+        assert result.iterations == result.residual_norms.shape[0] - 1
+
+    def test_initial_guess(self, spd_system):
+        a, b = spd_system
+        x_star = np.linalg.solve(a, b)
+        result = cg(a, b, tol=1e-12, x0=x_star)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_exact_inverse_preconditioner(self, spd_system):
+        a, b = spd_system
+        a_inv = np.linalg.inv(a)
+        result = cg(a, b, tol=1e-12, M=lambda r: a_inv @ r)
+        assert result.converged
+        assert result.iterations <= 2
+        assert result.preconditioner_applications >= 1
+
+    def test_operator_input(self, cov_h2):
+        b = np.random.default_rng(8).standard_normal(cov_h2.num_rows)
+        result = cg(cov_h2, b, tol=1e-6, maxiter=2000)
+        assert result.converged
+        assert np.linalg.norm(cov_h2.matvec(result.x) - b) / np.linalg.norm(b) < 1e-5
+
+    def test_callback(self, spd_system):
+        a, b = spd_system
+        seen = []
+        cg(a, b, tol=1e-8, callback=lambda k, r: seen.append((k, r)))
+        assert seen and seen[-1][1] <= 1e-8
+
+    def test_maxiter_reports_nonconvergence(self, spd_system):
+        a, b = spd_system
+        result = cg(a, b, tol=1e-14, maxiter=2)
+        assert not result.converged
+        assert result.iterations == 2
+
+
+class TestHODLRFactorization:
+    @pytest.fixture(scope="class")
+    def kernel_system(self):
+        points = uniform_cube_points(700, dim=2, seed=21)
+        tree = ClusterTree.build(points, leaf_size=32)
+        kernel = ExponentialKernel(length_scale=0.3)
+        a_perm = kernel.matrix(tree.points) + 0.05 * np.eye(700)
+        return tree, a_perm
+
+    def test_direct_solve(self, kernel_system):
+        tree, a_perm = kernel_system
+        hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-12)
+        fact = HODLRFactorization(hodlr)
+        b = np.random.default_rng(1).standard_normal((700, 3))
+        x = fact.solve(b, permuted=True)
+        assert np.linalg.norm(a_perm @ x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_solve_in_original_ordering(self, kernel_system):
+        tree, a_perm = kernel_system
+        a_orig = a_perm[np.ix_(tree.iperm, tree.iperm)]
+        hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-12)
+        fact = HODLRFactorization(hodlr)
+        b = np.random.default_rng(2).standard_normal(700)
+        x = fact.solve(b)
+        assert np.linalg.norm(a_orig @ x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_slogdet_matches_numpy(self, kernel_system):
+        tree, a_perm = kernel_system
+        hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-12)
+        fact = HODLRFactorization(hodlr)
+        sign_ref, logdet_ref = np.linalg.slogdet(a_perm)
+        sign, logdet = fact.slogdet()
+        assert sign == pytest.approx(sign_ref)
+        assert logdet == pytest.approx(logdet_ref, rel=1e-8)
+        assert fact.logdet() == pytest.approx(logdet_ref, rel=1e-8)
+        assert fact.determinant_sign == pytest.approx(sign_ref)
+
+    def test_negative_determinant_sign(self, kernel_system):
+        """An indefinite shift flips eigenvalue signs; the sign must track numpy."""
+        tree, a_perm = kernel_system
+        shifted = a_perm - 1.05 * np.eye(700)
+        hodlr = build_hodlr(tree, lambda r, c: shifted[np.ix_(r, c)], tol=1e-12)
+        fact = HODLRFactorization(hodlr)
+        sign_ref, logdet_ref = np.linalg.slogdet(shifted)
+        sign, logdet = fact.slogdet()
+        assert sign == pytest.approx(sign_ref)
+        assert logdet == pytest.approx(logdet_ref, rel=1e-6)
+        if sign_ref < 0:
+            with pytest.raises(ValueError):
+                fact.logdet()
+
+    def test_diagonal_shift(self, kernel_system):
+        tree, a_perm = kernel_system
+        hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-12)
+        fact = HODLRFactorization(hodlr, shift=0.5)
+        b = np.random.default_rng(3).standard_normal(700)
+        x = fact.solve(b, permuted=True)
+        shifted = a_perm + 0.5 * np.eye(700)
+        assert np.linalg.norm(shifted @ x - b) / np.linalg.norm(b) < 1e-9
+
+    def test_factor_of_sketched_hss(self, kernel_system):
+        """hodlr_from_h2 of a tight HSS construction supports direct solves."""
+        tree, a_perm = kernel_system
+        result = build_hss(
+            tree,
+            DenseOperator(a_perm),
+            DenseEntryExtractor(a_perm),
+            tolerance=1e-10,
+            seed=4,
+        )
+        fact = HODLRFactorization(hodlr_from_h2(result.matrix))
+        b = np.random.default_rng(4).standard_normal(700)
+        x = fact.solve(b, permuted=True)
+        assert np.linalg.norm(a_perm @ x - b) / np.linalg.norm(b) < 1e-6
+
+    def test_hodlr_from_h2_rejects_strong_partition(self, cov_h2):
+        with pytest.raises(ValueError):
+            hodlr_from_h2(cov_h2)
+
+    def test_singular_matrix_sign_is_zero(self, kernel_system):
+        tree, _ = kernel_system
+        ones = np.ones((700, 700))  # rank 1: every leaf diagonal block singular
+        with np.errstate(all="ignore"):
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                fact = HODLRFactorization(
+                    build_hodlr(tree, lambda r, c: ones[np.ix_(r, c)], tol=1e-10)
+                )
+        assert fact.determinant_sign == 0.0
+        assert fact.slogdet()[1] == -np.inf
+        with pytest.raises(ValueError):
+            fact.logdet()
+
+    def test_memory_accounting(self, kernel_system):
+        tree, a_perm = kernel_system
+        hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-8)
+        fact = HODLRFactorization(hodlr)
+        assert fact.memory_bytes() > 0
+
+
+class TestAcceptance:
+    """The ISSUE acceptance criteria on the 4096-point SPD covariance system."""
+
+    def test_hss_preconditioned_cg_iteration_reduction(self, covariance_4096):
+        a, a_perm, tree, b = (
+            covariance_4096["a"],
+            covariance_4096["a_perm"],
+            covariance_4096["tree"],
+            covariance_4096["b"],
+        )
+        plain = cg(a, b, tol=1e-8, maxiter=4000)
+        assert plain.converged
+
+        preconditioner = HierarchicalPreconditioner.from_operator(
+            tree,
+            DenseOperator(a_perm),
+            DenseEntryExtractor(a_perm),
+            tolerance=1e-4,
+            seed=3,
+        )
+        preconditioned = cg(a, b, tol=1e-8, maxiter=4000, M=preconditioner)
+        assert preconditioned.converged
+        assert preconditioned.final_residual <= 1e-8
+        # The tentpole criterion: at least a 3x iteration reduction.
+        assert preconditioned.iterations <= plain.iterations / 3
+        # And the preconditioner did nontrivial work each iteration.
+        assert preconditioned.preconditioner_applications >= preconditioned.iterations
+
+    def test_hodlr_direct_solve_matches_dense_reference(self, covariance_4096):
+        a, a_perm, tree, b = (
+            covariance_4096["a"],
+            covariance_4096["a_perm"],
+            covariance_4096["tree"],
+            covariance_4096["b"],
+        )
+        hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-11)
+        fact = HODLRFactorization(hodlr)
+        x = fact.solve(b)
+        reference = np.linalg.solve(a, b)
+        assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) <= 1e-6
+        assert np.linalg.norm(x - reference) / np.linalg.norm(reference) <= 1e-6
+
+
+class TestHierarchicalPreconditioner:
+    @pytest.fixture(scope="class")
+    def system(self):
+        points = uniform_cube_points(900, dim=2, seed=31)
+        tree = ClusterTree.build(points, leaf_size=32)
+        kernel = ExponentialKernel(length_scale=0.2)
+        a = kernel.matrix(points) + 0.01 * np.eye(900)
+        a_perm = a[np.ix_(tree.perm, tree.perm)]
+        b = np.random.default_rng(6).standard_normal(900)
+        return tree, a, a_perm, b
+
+    def test_from_operator_accelerates_cg(self, system):
+        tree, a, a_perm, b = system
+        plain = cg(a, b, tol=1e-8, maxiter=3000)
+        preconditioner = HierarchicalPreconditioner.from_operator(
+            tree, DenseOperator(a_perm), DenseEntryExtractor(a_perm),
+            tolerance=1e-3, seed=1,
+        )
+        accelerated = cg(a, b, tol=1e-8, maxiter=3000, M=preconditioner)
+        assert accelerated.converged
+        assert accelerated.iterations < plain.iterations
+
+    def test_from_entries(self, system):
+        tree, a, a_perm, b = system
+        preconditioner = HierarchicalPreconditioner.from_entries(
+            tree, lambda r, c: a_perm[np.ix_(r, c)], tolerance=1e-4
+        )
+        result = cg(a, b, tol=1e-8, maxiter=3000, M=preconditioner)
+        assert result.converged
+        assert result.iterations < 60
+
+    def test_statistics(self, system):
+        tree, _, a_perm, _ = system
+        preconditioner = HierarchicalPreconditioner.from_operator(
+            tree, DenseOperator(a_perm), DenseEntryExtractor(a_perm),
+            tolerance=1e-2, seed=2,
+        )
+        stats = preconditioner.statistics()
+        assert stats["n"] == 900
+        assert stats["factor_memory_mb"] > 0
+        assert "rank_range" in stats
+
+    def test_gmres_with_hierarchical_preconditioner(self, system):
+        tree, a, a_perm, b = system
+        preconditioner = HierarchicalPreconditioner.from_entries(
+            tree, lambda r, c: a_perm[np.ix_(r, c)], tolerance=1e-4
+        )
+        result = gmres(a, b, tol=1e-8, restart=30, maxiter=900, M=preconditioner)
+        assert result.converged
+        assert np.linalg.norm(a @ result.x - b) / np.linalg.norm(b) < 1e-7
+
+
+class TestMultifrontalSolver:
+    def test_exact_solve_2d(self):
+        a = poisson_matrix((15, 15))
+        solver = MultifrontalSolver.build(a, (15, 15), max_levels=3)
+        assert solver.is_exact
+        b = np.random.default_rng(0).standard_normal(225)
+        x = solver.solve(b)
+        assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_exact_solve_3d(self):
+        a = poisson_matrix((7, 7, 7))
+        solver = MultifrontalSolver.build(a, (7, 7, 7), max_levels=2)
+        b = np.random.default_rng(1).standard_normal(343)
+        x = solver.solve(b)
+        assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_matches_sparse_direct(self):
+        a = poisson_matrix((12, 12))
+        solver = MultifrontalSolver.build(a, (12, 12), max_levels=2)
+        b = np.random.default_rng(2).standard_normal(144)
+        assert np.allclose(solver.solve(b), spla.spsolve(a.tocsc(), b), atol=1e-10)
+
+    def test_multiple_rhs(self):
+        a = poisson_matrix((10, 10))
+        solver = MultifrontalSolver.build(a, (10, 10), max_levels=2)
+        b = np.random.default_rng(3).standard_normal((100, 4))
+        x = solver.solve(b)
+        assert x.shape == (100, 4)
+        assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-12
+
+    def test_front_report(self):
+        a = poisson_matrix((15, 15))
+        solver = MultifrontalSolver.build(a, (15, 15), max_levels=3)
+        fronts = solver.front_report()
+        assert len(fronts) == 7  # 1 + 2 + 4 separators over 3 levels
+        assert fronts[0].level == 0
+        assert fronts[0].size == 15  # root separator is a full grid line
+        stats = solver.statistics()
+        assert stats["num_fronts"] == 7
+        assert stats["largest_front"] == 15
+
+    @pytest.mark.slow
+    def test_compressed_fronts_precondition_cg(self):
+        """Compressed-front multifrontal solve works as a CG preconditioner."""
+        shape = (31, 31)
+        a = poisson_matrix(shape)
+        n = a.shape[0]
+        solver = MultifrontalSolver.build(
+            a,
+            shape,
+            max_levels=2,
+            compress_tolerance=1e-4,
+            compress_min_size=24,
+            compress_leaf_size=8,
+        )
+        assert any(f.compressed for f in solver.fronts)
+        b = np.random.default_rng(4).standard_normal(n)
+        plain = cg(a, b, tol=1e-10, maxiter=5000)
+        preconditioned = cg(a, b, tol=1e-10, maxiter=5000, M=solver)
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations / 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MultifrontalSolver.build(poisson_matrix((5, 5)), (6, 6))
+
+    def test_degenerate_cuts_fall_back_to_leaves(self):
+        """Deep dissection of a tiny grid (empty half-domains) stays exact."""
+        a = poisson_matrix((5, 5))
+        solver = MultifrontalSolver.build(a, (5, 5), max_levels=6, min_size=2)
+        b = np.random.default_rng(5).standard_normal(25)
+        x = solver.solve(b)
+        assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-12
+
+
+class TestSolverReporting:
+    def test_convergence_table(self, spd_system):
+        a, b = spd_system
+        results = {"cg": cg(a, b, tol=1e-8), "gmres": gmres(a, b, tol=1e-8, restart=60)}
+        text = convergence_table(results)
+        assert "cg" in text and "gmres" in text
+        assert "rel resid" in text
+
+    def test_convergence_table_from_sequence(self, spd_system):
+        a, b = spd_system
+        text = convergence_table([cg(a, b, tol=1e-8)], title=None)
+        assert "cg" in text
+
+    def test_convergence_table_keeps_duplicate_methods(self, spd_system):
+        a, b = spd_system
+        runs = [cg(a, b, tol=1e-8), cg(a, b, tol=1e-8, M=lambda r: r)]
+        text = convergence_table(runs, title=None)
+        # one header + one separator + one row per run
+        assert len(text.splitlines()) == 4
+
+    def test_residual_series(self, spd_system):
+        a, b = spd_system
+        result = cg(a, b, tol=1e-8)
+        text = residual_series({"cg": result}, every=5)
+        assert "iteration" in text
+        assert "cg" in text
