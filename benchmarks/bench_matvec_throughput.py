@@ -1,0 +1,167 @@
+"""Batched H2 apply throughput: matvec/matmat time and launch counts vs N.
+
+The compiled apply engine (:mod:`repro.batched.apply_plan`) claims two things:
+
+* launches per apply are O(levels) — independent of the number of tree nodes
+  and blocks — on both backends, and
+* the vectorized backend turns the Krylov hot path into a handful of stacked
+  GEMMs, beating the per-node reference loop by a solid factor (the ISSUE
+  acceptance bar is ≥ 3× at N = 8192 for the single-vector apply).
+
+For every N this benchmark constructs the 2D covariance H2 matrix, then times
+the per-node loop baseline, the serial backend and the vectorized backend for
+``k = 1`` (matvec) and ``k = 8`` (matmat), reporting per-apply launch counts,
+effective GFLOP/s and operand bandwidth.  Results are printed as a table and
+emitted as the standard ``BENCH_JSON`` line.  Sizes follow
+``REPRO_BENCH_SIZES``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterTree,
+    ConstructionConfig,
+    DenseEntryExtractor,
+    DenseOperator,
+    ExponentialKernel,
+    GeneralAdmissibility,
+    H2Constructor,
+    build_block_partition,
+    uniform_cube_points,
+)
+from repro.diagnostics import apply_report, format_table
+
+from common import bench_sizes, emit_bench_json
+
+LEAF_SIZE = 32
+TOLERANCE = 1e-6
+MATMAT_COLUMNS = 8
+
+
+def _build(n: int):
+    points = uniform_cube_points(n, dim=2, seed=1)
+    tree = ClusterTree.build(points, leaf_size=LEAF_SIZE)
+    partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+    dense = ExponentialKernel(0.2).matrix(tree.points)
+    result = H2Constructor(
+        partition,
+        DenseOperator(dense),
+        DenseEntryExtractor(dense),
+        ConstructionConfig(tolerance=TOLERANCE),
+        seed=7,
+    ).construct()
+    return result.matrix
+
+
+def _best_of(f, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        f()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def bench_size(n: int):
+    h2 = _build(n)
+    x = np.random.default_rng(1).standard_normal(n)
+    block = np.random.default_rng(2).standard_normal((n, MATMAT_COLUMNS))
+    h2.matvec(x)  # compile the plan once up front
+    plan = h2.apply_plan()
+
+    loop_s = _best_of(lambda: h2.matvec_loop(x, permuted=True), repeats=5)
+    loop_mm_s = _best_of(lambda: h2.matvec_loop(block, permuted=True), repeats=3)
+
+    record = {
+        "n": n,
+        "levels": h2.tree.num_levels,
+        "block_products": plan.num_block_products,
+        "launches_per_apply": plan.num_stages,
+        "loop_matvec_s": loop_s,
+        "loop_matmat_s": loop_mm_s,
+        "backends": {},
+    }
+    reference = h2.matvec_loop(x, permuted=True)
+    for backend in ("serial", "vectorized"):
+        report = apply_report(h2, backend=backend, k=1, repeats=7)
+        report_mm = apply_report(h2, backend=backend, k=MATMAT_COLUMNS, repeats=3)
+        batched = h2.matvec(x, permuted=True, backend=backend)
+        error = float(
+            np.linalg.norm(batched - reference) / np.linalg.norm(reference)
+        )
+        record["backends"][backend] = {
+            "matvec_s": report.seconds_per_apply,
+            "matmat_s": report_mm.seconds_per_apply,
+            "launches": report.launches_per_apply,
+            "gflops": report.gflops,
+            "bandwidth_gb_s": report.bandwidth_gb_s,
+            "speedup_vs_loop": loop_s / report.seconds_per_apply,
+            "matmat_speedup_vs_loop": loop_mm_s / report_mm.seconds_per_apply,
+            "rel_error_vs_loop": error,
+        }
+    return record
+
+
+def run_matvec_throughput():
+    records = [bench_size(n) for n in bench_sizes()]
+    rows = []
+    for r in records:
+        for backend, b in r["backends"].items():
+            rows.append(
+                [
+                    r["n"],
+                    backend,
+                    r["levels"],
+                    r["block_products"],
+                    b["launches"],
+                    f"{r['loop_matvec_s'] * 1e3:.2f}",
+                    f"{b['matvec_s'] * 1e3:.2f}",
+                    f"{b['speedup_vs_loop']:.2f}",
+                    f"{b['matmat_speedup_vs_loop']:.2f}",
+                    f"{b['bandwidth_gb_s']:.2f}",
+                ]
+            )
+    print()
+    print(
+        format_table(
+            [
+                "N",
+                "backend",
+                "levels",
+                "block GEMMs",
+                "launches",
+                "loop [ms]",
+                "batched [ms]",
+                "matvec speedup",
+                f"matmat({MATMAT_COLUMNS}) speedup",
+                "GiB/s",
+            ],
+            rows,
+            title="Batched H2 apply throughput (2D covariance, tol 1e-6)",
+        )
+    )
+    emit_bench_json("matvec_throughput", records)
+    return records
+
+
+@pytest.mark.benchmark(group="matvec-throughput")
+def test_matvec_throughput(benchmark):
+    records = benchmark.pedantic(run_matvec_throughput, rounds=1, iterations=1)
+    largest = max(r["n"] for r in records)
+    for r in records:
+        levels = r["levels"]
+        # O(levels) launches, far below the per-node block-product count.
+        assert r["launches_per_apply"] <= 12 * levels
+        assert r["launches_per_apply"] < 0.25 * r["block_products"]
+        for b in r["backends"].values():
+            assert b["rel_error_vs_loop"] < 1e-12
+        # The acceptance criterion: ≥ 3x over the loop at the largest size.
+        if r["n"] == largest and largest >= 8192:
+            assert r["backends"]["vectorized"]["speedup_vs_loop"] >= 3.0
+
+
+if __name__ == "__main__":
+    run_matvec_throughput()

@@ -19,6 +19,7 @@ scaled with environment variables:
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Dict, List
@@ -156,6 +157,16 @@ def speedup_table(times: Dict[str, float]) -> Dict[str, float]:
     """Speedups of every entry relative to the slowest entry."""
     worst = max(times.values())
     return {name: worst / value if value > 0 else float("inf") for name, value in times.items()}
+
+
+def emit_bench_json(name: str, records: object) -> None:
+    """Print one machine-readable ``BENCH_JSON`` line for a benchmark's results.
+
+    The standard benchmark interchange format of this repository: a single
+    line ``BENCH_JSON {"bench": <name>, "records": <records>}`` that harness
+    scripts can grep out of the human-readable table output.
+    """
+    print("BENCH_JSON " + json.dumps({"bench": name, "records": records}, default=float))
 
 
 _PROBLEM_CACHE: Dict[tuple, Problem] = {}

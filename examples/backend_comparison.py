@@ -23,7 +23,7 @@ from repro import (
     build_block_partition,
     uniform_cube_points,
 )
-from repro.diagnostics import format_table, phase_breakdown
+from repro.diagnostics import apply_report, format_table, phase_breakdown
 from repro.diagnostics.profiling import PHASE_ORDER
 
 
@@ -64,6 +64,43 @@ def main(n: int = 8192) -> None:
         "tree depth:", tree.depth,
         "-> batched calls per level:",
         round(results["vectorized"].total_kernel_calls / max(tree.depth, 1), 1),
+    )
+
+    # The same story holds for *applying* the constructed matrix: the compiled
+    # per-level plan (h2.apply_plan()) runs matvec/matmat as O(levels) batched
+    # launches on either backend instead of one small GEMM per tree node.
+    import numpy as np
+    import time
+
+    h2 = results["vectorized"].matrix
+    x = np.random.default_rng(0).standard_normal(n)
+    h2.matvec(x)  # compile the apply plan
+    start = time.perf_counter()
+    h2.matvec_loop(x, permuted=True)
+    loop_seconds = time.perf_counter() - start
+    rows = []
+    for backend in ("serial", "vectorized"):
+        report = apply_report(h2, backend=backend, k=1, repeats=5)
+        rows.append(
+            [
+                backend,
+                f"{report.seconds_per_apply * 1e3:.2f}",
+                report.launches_per_apply,
+                report.block_products,
+                f"{loop_seconds / report.seconds_per_apply:.2f}",
+                f"{report.bandwidth_gb_s:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["backend", "matvec [ms]", "launches", "block GEMMs", "speedup vs loop", "GiB/s"],
+            rows,
+            title=(
+                f"Compiled batched apply ({h2.apply_plan().describe()}); "
+                f"per-node loop baseline: {loop_seconds * 1e3:.2f} ms"
+            ),
+        )
     )
 
 

@@ -42,10 +42,12 @@ for the full walk-through)
 from .batched import (
     BatchedBackend,
     BlockSparseRowMatrix,
+    H2ApplyPlan,
     KernelLaunchCounter,
     SerialBackend,
     VariableBatch,
     VectorizedBackend,
+    compile_apply_plan,
     get_backend,
 )
 from .core import (
@@ -164,6 +166,8 @@ __all__ = [
     "VariableBatch",
     "BlockSparseRowMatrix",
     "KernelLaunchCounter",
+    "H2ApplyPlan",
+    "compile_apply_plan",
     # sketching interfaces
     "SketchingOperator",
     "DenseOperator",

@@ -14,8 +14,15 @@ matrices; two backends execute them:
 Kernel-launch counting (:class:`KernelLaunchCounter`) exposes how many batched
 dispatches a construction needed, reproducing the paper's O(log N) launch-count
 argument (Section IV-B).
+
+The same machinery also *applies* constructed H2 matrices:
+:mod:`repro.batched.apply_plan` compiles an ``H2Matrix`` into per-level
+:class:`VariableBatch` execution plans (:class:`H2ApplyPlan`) so that matvec,
+matmat and the transpose applies run as O(levels) batched launches on either
+backend instead of a per-node Python loop.
 """
 
+from .apply_plan import ApplyStage, H2ApplyPlan, compile_apply_plan
 from .backend import (
     BatchedBackend,
     SerialBackend,
@@ -27,9 +34,12 @@ from .counters import KernelLaunchCounter
 from .variable_batch import VariableBatch
 
 __all__ = [
+    "ApplyStage",
     "BatchedBackend",
+    "H2ApplyPlan",
     "SerialBackend",
     "VectorizedBackend",
+    "compile_apply_plan",
     "get_backend",
     "BlockSparseRowMatrix",
     "KernelLaunchCounter",

@@ -1,0 +1,519 @@
+"""Compiled batched apply engine for H2 matrices.
+
+PR 1 turned every constructed format into a linear-system workload, which makes
+``H2Matrix.matvec`` the Krylov hot path — and the reference implementation is a
+per-node Python loop over dicts.  The paper's central point (Section IV) is
+that all per-node work of a tree level should execute as a *handful of batched
+launches*; this module applies the same treatment to the H2 apply that
+:mod:`repro.core.builder` already applies to construction.
+
+:func:`compile_apply_plan` flattens an ``H2Matrix`` once into an
+:class:`H2ApplyPlan`: a short sequence of per-level *stages*.  Each stage is a
+uniform batch of block-row GEMMs in the paper's non-uniform-BSR formulation —
+all static blocks sharing a destination (the coupling blocks of a block row,
+the dense blocks of a leaf row, the two child transfers of a parent) are
+fused side by side into one ``(p, c*q)`` operand, pre-stacked into a
+contiguous 3-D array at compile time.  The dynamic per-node vectors (``x̂`` /
+``ŷ`` of every level, and the leaf-blocked input/output) live in flat
+:class:`~repro.batched.variable_batch.VariableBatch` buffers laid out by the
+prefix sums of :mod:`repro.utils.prefix_sum`.  Executing the plan walks the
+stages through a pluggable :class:`~repro.batched.backend.BatchedBackend`
+(``batched_gemm_scatter``), so a matvec costs O(levels) batched dispatches
+instead of one small GEMM per tree node, and every dispatch is recorded in the
+backend's :class:`~repro.batched.counters.KernelLaunchCounter`.
+
+The phases mirror the reference loop exactly:
+
+========================  ====================================================
+``apply_leaf``            upward pass at the leaves, ``x̂_tau = U_tau^T x_tau``
+``apply_upsweep``         transfer accumulation, ``x̂_p += [E_c1^T E_c2^T] x̂``
+``apply_coupling``        coupling rows, ``ŷ_s += [B_{s,t1} … B_{s,tc}] x̂``
+``apply_downsweep``       downward pass, ``ŷ_c += E_c ŷ_p``
+``apply_expand``          leaf expansion, ``y_tau += U_tau ŷ_tau``
+``apply_dense``           dense leaf rows, ``y_s += [D_{s,t1} … D_{s,tc}] x``
+========================  ====================================================
+
+The transpose apply (``rmatvec``/``rmatmat``) shares the basis/transfer stages
+(the format is symmetric in its bases, ``V = U``) and rebuilds the coupling
+and dense rows column-wise with transposed blocks, compiled lazily on first
+use.  Multi-RHS applies (``matmat``) reuse the same plan — only the number of
+columns ``k`` of the hat buffers changes at execution time.
+
+Zero-padding
+------------
+Batched GPU kernels want uniform batches; the compiler manufactures them the
+same way the paper's marshaling does, with exact zero-padding:
+
+* node ranks are padded to the bucketed maximum rank of their level
+  (``pad_to`` rounding), so every hat buffer is a uniform stack;
+* leaf blocks of the input/output vectors are padded to the maximum leaf size;
+* the fan-in ``c`` of coupling/dense block rows is padded to a multiple of
+  ``fan_pad`` by appending zero blocks that read a sentinel zero source block.
+
+Padded rows and columns of ``U``/``E``/``B``/``D`` are zero, so the padded hat
+entries stay exactly zero through every phase — the compiled apply is
+bit-for-bit a reordering of the reference loop's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .backend import BatchedBackend, get_backend
+from .variable_batch import VariableBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hmatrix.h2matrix import H2Matrix
+
+#: Buffer keys: ``("x",)`` / ``("y",)`` are the leaf-blocked (padded)
+#: input/output vectors, ``("hat", level)`` / ``("ghat", level)`` the
+#: upward/downward per-level hat vectors.
+BufferKey = Tuple
+
+#: One block row awaiting compilation: destination position and the
+#: ``(static_block, source_position)`` pairs fused into the row.
+_Row = Tuple[int, List[Tuple[np.ndarray, int]]]
+
+
+@dataclass(frozen=True, eq=False)
+class ApplyStage:
+    """One batched launch of block-row GEMMs.
+
+    ``a`` is the contiguous ``(g, p, c*q)`` stack of row operands;
+    ``dest_pos`` holds the ``g`` (unique) destination block positions and
+    ``src_pos`` the ``g*c`` gathered source block positions in the
+    :class:`VariableBatch` buffers named by ``dest``/``src``.
+    """
+
+    op: str
+    level: int
+    dest: BufferKey
+    src: BufferKey
+    a: np.ndarray
+    dest_pos: np.ndarray
+    src_pos: np.ndarray
+    fan_in: int
+    #: Number of real (un-padded) block products fused into this stage.
+    num_blocks: int
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.a.shape[0])
+
+    def flops(self, k: int) -> int:
+        """Multiply-add flops of this stage for a ``k``-column apply (padding included)."""
+        g, p, cq = self.a.shape
+        return int(2 * g * p * cq * k)
+
+
+class H2ApplyPlan:
+    """Per-level batched execution plan of an :class:`~repro.hmatrix.h2matrix.H2Matrix`.
+
+    Build with :func:`compile_apply_plan` (or ``H2Matrix.apply_plan()``, which
+    caches the compiled plan on the matrix).  The plan holds padded *copies* of
+    the matrix blocks — mutating the matrix after compilation requires
+    recompiling.
+    """
+
+    def __init__(self, matrix: "H2Matrix", pad_to: int = 1, fan_pad: int = 4):
+        tree = matrix.tree
+        basis = matrix.basis
+        if pad_to < 1 or fan_pad < 1:
+            raise ValueError("pad_to and fan_pad must be positive integers")
+        self.n = tree.num_points
+        self.num_levels = tree.num_levels
+        self.depth = tree.depth
+        self.pad_to = int(pad_to)
+        self.fan_pad = int(fan_pad)
+
+        # Leaf-block layout of the (padded) input/output vectors.  The last
+        # block of every buffer is the sentinel zero block read by fan-in
+        # padding; its position is ``count``.
+        self._leaf_nodes = list(tree.leaves())
+        self._leaf_pos = {node: i for i, node in enumerate(self._leaf_nodes)}
+        self._leaf_sizes = np.array(
+            [tree.cluster_size(node) for node in self._leaf_nodes], dtype=np.int64
+        )
+        self.leaf_pad = int(self._leaf_sizes.max()) if len(self._leaf_nodes) else 0
+
+        # Per-level hat-vector layout: nodes carrying a (nonzero-rank) basis,
+        # all padded to the bucketed maximum rank of their level so each hat
+        # buffer is one uniform stack.
+        self._level_pos: Dict[int, Dict[int, int]] = {}
+        self._level_rank: Dict[int, int] = {}
+        for level in range(tree.depth, -1, -1):
+            nodes = [
+                node
+                for node in tree.nodes_at_level(level)
+                if basis.has_basis(node) and basis.rank(node) > 0
+            ]
+            if not nodes:
+                continue
+            self._level_pos[level] = {node: i for i, node in enumerate(nodes)}
+            self._level_rank[level] = self._bucket(
+                max(basis.rank(node) for node in nodes)
+            )
+
+        self._forward_stages = self._assemble(matrix, transpose=False)
+        self._transpose_stages: List[ApplyStage] | None = None
+        self._matrix = matrix  # needed for lazy transpose compilation
+
+    # ------------------------------------------------------------ compilation
+    def _bucket(self, rank: int) -> int:
+        """Round ``rank`` up to the plan's bucket size."""
+        pad = self.pad_to
+        return ((int(rank) + pad - 1) // pad) * pad
+
+    def _fan_bucket(self, fan: int) -> int:
+        """Bucketed row fan-in: exact below ``fan_pad``, multiples of it above.
+
+        Small fans (the sweeps' 1-2 blocks per row) stay exact — padding them
+        would multiply the operand bytes — while wide coupling/dense rows
+        collapse into a handful of fan groups.
+        """
+        if fan <= self.fan_pad:
+            return fan
+        return ((fan + self.fan_pad - 1) // self.fan_pad) * self.fan_pad
+
+    @staticmethod
+    def _padded(a: np.ndarray, rows: int, cols: int) -> np.ndarray:
+        """Zero-pad a 2-D block to ``(rows, cols)``."""
+        if a.shape == (rows, cols):
+            return a
+        out = np.zeros((rows, cols), dtype=np.float64)
+        out[: a.shape[0], : a.shape[1]] = a
+        return out
+
+    def _rows_to_stages(
+        self,
+        op: str,
+        level: int,
+        dest: BufferKey,
+        src: BufferKey,
+        rows: Sequence[_Row],
+        sentinel: int,
+    ) -> List[ApplyStage]:
+        """Pad block-row fan-ins to multiples of ``fan_pad``, group and stack.
+
+        Every row's blocks already share the padded shape ``(p, q)``; rows are
+        grouped by padded fan-in so each group is one uniform batched launch.
+        """
+        if not rows:
+            return []
+        p, q = rows[0][1][0][0].shape
+        by_fan: Dict[int, List[_Row]] = {}
+        for row in rows:
+            by_fan.setdefault(self._fan_bucket(len(row[1])), []).append(row)
+        stages = []
+        for fan in sorted(by_fan):
+            group = by_fan[fan]
+            a = np.zeros((len(group), p, fan * q), dtype=np.float64)
+            dest_pos = np.empty(len(group), dtype=np.int64)
+            src_pos = np.full(len(group) * fan, sentinel, dtype=np.int64)
+            num_blocks = 0
+            for i, (dpos, blocks) in enumerate(group):
+                dest_pos[i] = dpos
+                num_blocks += len(blocks)
+                for j, (block, spos) in enumerate(blocks):
+                    a[i, :, j * q : (j + 1) * q] = block
+                    src_pos[i * fan + j] = spos
+            stages.append(
+                ApplyStage(
+                    op=op,
+                    level=level,
+                    dest=dest,
+                    src=src,
+                    a=a,
+                    dest_pos=dest_pos,
+                    src_pos=src_pos,
+                    fan_in=fan,
+                    num_blocks=num_blocks,
+                )
+            )
+        return stages
+
+    def _sweep_rows(self, matrix: "H2Matrix"):
+        """Leaf, upsweep, downsweep and expansion stages (shared with transpose)."""
+        tree = matrix.tree
+        basis = matrix.basis
+        depth = tree.depth
+        leaf_level = self._level_pos.get(depth, {})
+        r_leaf = self._level_rank.get(depth, 0)
+        m = self.leaf_pad
+        x_sentinel = len(self._leaf_nodes)
+
+        leaf_up: List[_Row] = []
+        leaf_down: List[_Row] = []
+        for node, pos in leaf_level.items():
+            u = basis.leaf_bases.get(node)
+            if u is None or u.size == 0:
+                continue
+            lpos = self._leaf_pos[node]
+            leaf_up.append((pos, [(self._padded(u.T, r_leaf, m), lpos)]))
+            leaf_down.append((lpos, [(self._padded(u, m, r_leaf), pos)]))
+
+        up: List[ApplyStage] = []
+        down: List[ApplyStage] = []
+        for level in range(depth, 1, -1):
+            child_pos = self._level_pos.get(level)
+            parent_pos = self._level_pos.get(level - 1)
+            if not child_pos or not parent_pos:
+                continue
+            rc, rp = self._level_rank[level], self._level_rank[level - 1]
+            up_rows: Dict[int, _Row] = {}
+            down_rows: List[_Row] = []
+            for child, cpos in child_pos.items():
+                e = basis.transfers.get(child)
+                parent = tree.parent(child)
+                if e is None or e.size == 0 or parent not in parent_pos:
+                    continue
+                ppos = parent_pos[parent]
+                row = up_rows.setdefault(ppos, (ppos, []))
+                row[1].append((self._padded(e.T, rp, rc), cpos))
+                down_rows.append((cpos, [(self._padded(e, rc, rp), ppos)]))
+            up.extend(
+                self._rows_to_stages(
+                    "apply_upsweep",
+                    level,
+                    ("hat", level - 1),
+                    ("hat", level),
+                    list(up_rows.values()),
+                    sentinel=len(child_pos),
+                )
+            )
+            down.extend(
+                self._rows_to_stages(
+                    "apply_downsweep",
+                    level,
+                    ("ghat", level),
+                    ("ghat", level - 1),
+                    down_rows,
+                    sentinel=len(parent_pos),
+                )
+            )
+        down.reverse()  # downsweep pushes root-ward hats before leaf-ward ones
+
+        leaf_stages = self._rows_to_stages(
+            "apply_leaf", depth, ("hat", depth), ("x",), leaf_up, sentinel=x_sentinel
+        )
+        expand_stages = self._rows_to_stages(
+            "apply_expand",
+            depth,
+            ("y",),
+            ("ghat", depth),
+            leaf_down,
+            sentinel=len(leaf_level),
+        )
+        return leaf_stages, up, down, expand_stages
+
+    def _coupling_stages(
+        self, matrix: "H2Matrix", transpose: bool
+    ) -> List[ApplyStage]:
+        per_level: Dict[int, Dict[int, _Row]] = {}
+        for (s, t) in sorted(matrix.coupling):
+            b = matrix.coupling[(s, t)]
+            if b.size == 0:
+                continue
+            level = matrix.tree.level_of(s)
+            pos = self._level_pos.get(level)
+            if pos is None or s not in pos or t not in pos:
+                continue
+            r = self._level_rank[level]
+            if transpose:
+                block, dpos, spos = self._padded(b.T, r, r), pos[t], pos[s]
+            else:
+                block, dpos, spos = self._padded(b, r, r), pos[s], pos[t]
+            row = per_level.setdefault(level, {}).setdefault(dpos, (dpos, []))
+            row[1].append((block, spos))
+        stages = []
+        for level in sorted(per_level):
+            stages.extend(
+                self._rows_to_stages(
+                    "apply_coupling",
+                    level,
+                    ("ghat", level),
+                    ("hat", level),
+                    list(per_level[level].values()),
+                    sentinel=len(self._level_pos[level]),
+                )
+            )
+        return stages
+
+    def _dense_stages(self, matrix: "H2Matrix", transpose: bool) -> List[ApplyStage]:
+        m = self.leaf_pad
+        rows: Dict[int, _Row] = {}
+        for (s, t) in sorted(matrix.dense):
+            d = matrix.dense[(s, t)]
+            if d.size == 0:
+                continue
+            if transpose:
+                block, dpos, spos = self._padded(d.T, m, m), self._leaf_pos[t], self._leaf_pos[s]
+            else:
+                block, dpos, spos = self._padded(d, m, m), self._leaf_pos[s], self._leaf_pos[t]
+            row = rows.setdefault(dpos, (dpos, []))
+            row[1].append((block, spos))
+        return self._rows_to_stages(
+            "apply_dense",
+            self.depth,
+            ("y",),
+            ("x",),
+            list(rows.values()),
+            sentinel=len(self._leaf_nodes),
+        )
+
+    def _assemble(self, matrix: "H2Matrix", transpose: bool) -> List[ApplyStage]:
+        if transpose:
+            leaf_stages, up, down, expand_stages = self._sweeps
+        else:
+            self._sweeps = self._sweep_rows(matrix)
+            leaf_stages, up, down, expand_stages = self._sweeps
+        stages: List[ApplyStage] = []
+        stages.extend(leaf_stages)
+        stages.extend(up)
+        stages.extend(self._coupling_stages(matrix, transpose))
+        stages.extend(down)
+        stages.extend(expand_stages)
+        stages.extend(self._dense_stages(matrix, transpose))
+        return stages
+
+    def _ensure_transpose(self) -> List[ApplyStage]:
+        if self._transpose_stages is None:
+            self._transpose_stages = self._assemble(self._matrix, transpose=True)
+        return self._transpose_stages
+
+    # -------------------------------------------------------------- execution
+    def _leaf_buffer(self, values: np.ndarray | None, k: int) -> VariableBatch:
+        """A padded leaf-blocked buffer (+ sentinel), optionally filled from ``values``."""
+        count = len(self._leaf_nodes)
+        rows = np.full(count + 1, self.leaf_pad, dtype=np.int64)
+        cols = np.full(count + 1, k, dtype=np.int64)
+        buffer = VariableBatch(rows, cols)
+        if values is not None and count:
+            stack = buffer.data.reshape(count + 1, self.leaf_pad, k)
+            if int(self._leaf_sizes.min()) == self.leaf_pad:
+                stack[:count] = values.reshape(count, self.leaf_pad, k)
+            else:
+                offset = 0
+                for i, size in enumerate(self._leaf_sizes):
+                    stack[i, :size] = values[offset : offset + size]
+                    offset += int(size)
+        return buffer
+
+    def _read_leaf_buffer(self, buffer: VariableBatch, out: np.ndarray) -> np.ndarray:
+        count = len(self._leaf_nodes)
+        k = out.shape[1]
+        stack = buffer.data.reshape(count + 1, self.leaf_pad, k)
+        if count and int(self._leaf_sizes.min()) == self.leaf_pad:
+            out[...] = stack[:count].reshape(out.shape)
+        else:
+            offset = 0
+            for i, size in enumerate(self._leaf_sizes):
+                out[offset : offset + size] = stack[i, :size]
+                offset += int(size)
+        return out
+
+    def execute(
+        self,
+        x: np.ndarray,
+        backend: BatchedBackend | str = "vectorized",
+        transpose: bool = False,
+    ) -> np.ndarray:
+        """Apply the compiled plan to ``x`` of shape ``(n, k)`` (permuted ordering)."""
+        be = get_backend(backend)
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(
+                f"plan expects a ({self.n}, k) array in the permuted ordering, "
+                f"got shape {x.shape}"
+            )
+        k = x.shape[1]
+        buffers: Dict[BufferKey, VariableBatch] = {
+            ("x",): self._leaf_buffer(x, k),
+            ("y",): self._leaf_buffer(None, k),
+        }
+        for level, pos in self._level_pos.items():
+            rows = np.full(len(pos) + 1, self._level_rank[level], dtype=np.int64)
+            cols = np.full(len(pos) + 1, k, dtype=np.int64)
+            buffers[("hat", level)] = VariableBatch(rows, cols)
+            buffers[("ghat", level)] = VariableBatch(rows, cols)
+
+        stages = self._ensure_transpose() if transpose else self._forward_stages
+        for stage in stages:
+            be.batched_gemm_scatter(
+                buffers[stage.dest],
+                stage.dest_pos,
+                stage.a,
+                buffers[stage.src],
+                stage.src_pos,
+                operation=stage.op,
+            )
+        return self._read_leaf_buffer(buffers[("y",)], np.zeros_like(x))
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def stages(self) -> List[ApplyStage]:
+        return list(self._forward_stages)
+
+    @property
+    def num_stages(self) -> int:
+        """Batched dispatches (= launches) per forward apply."""
+        return len(self._forward_stages)
+
+    @property
+    def num_block_products(self) -> int:
+        """Real per-node block GEMMs fused into the stages (the per-node loop's count)."""
+        return sum(stage.num_blocks for stage in self._forward_stages)
+
+    def flops(self, k: int = 1) -> int:
+        """Multiply-add flops of one ``k``-column forward apply (padding included)."""
+        return sum(stage.flops(k) for stage in self._forward_stages)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the pre-stacked static operand arrays."""
+        total = sum(stage.a.nbytes for stage in self._forward_stages)
+        if self._transpose_stages is not None:
+            shared = {id(stage.a) for stage in self._forward_stages}
+            total += sum(
+                stage.a.nbytes
+                for stage in self._transpose_stages
+                if id(stage.a) not in shared
+            )
+        return int(total)
+
+    def stage_counts(self) -> Dict[str, int]:
+        """Number of batched dispatches per phase, e.g. ``{"apply_coupling": 7, ...}``."""
+        counts: Dict[str, int] = {}
+        for stage in self._forward_stages:
+            counts[stage.op] = counts.get(stage.op, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        counts = self.stage_counts()
+        phases = ", ".join(f"{op}={n}" for op, n in sorted(counts.items()))
+        return (
+            f"H2ApplyPlan(n={self.n}, levels={self.num_levels}, "
+            f"stages={self.num_stages} [{phases}], "
+            f"block_products={self.num_block_products})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return self.describe()
+
+
+def compile_apply_plan(
+    matrix: "H2Matrix", pad_to: int = 1, fan_pad: int = 4
+) -> H2ApplyPlan:
+    """Flatten ``matrix`` into a batched per-level :class:`H2ApplyPlan`.
+
+    The compilation walks every basis, transfer, coupling and dense block
+    exactly once, fuses the blocks of each block row side by side (the
+    non-uniform BSR row formulation), zero-pads ranks, leaf sizes and row
+    fan-ins to uniform bucketed shapes, and stacks every (level, phase,
+    fan-in) group into one contiguous 3-D operand array; the returned plan
+    applies the matrix (and its transpose) to any number of right-hand-side
+    columns through a pluggable batched backend in O(levels) launches.
+    """
+    return H2ApplyPlan(matrix, pad_to=pad_to, fan_pad=fan_pad)

@@ -7,6 +7,9 @@ small set of batched operations over all nodes of a tree level:
 ``batched_rand``      generate the random sketching block ``Omega``
 ``batched_gemm``      products such as ``Omega^{l+1} = E^T Omega^l``
 ``batched_gemm_accumulate``  the per-launch work of the non-uniform BSR product
+``batched_gemm_scatter``  block GEMMs gathered from / scattered into the flat
+                      buffer of a :class:`VariableBatch` (the per-stage launch
+                      of the compiled H2 apply engine, :mod:`repro.batched.apply_plan`)
 ``batched_transpose`` re-layout of sample blocks before the pivoted QR
 ``batched_min_r_diag``  the adaptive convergence test (QR of every ``Y_loc``)
 ``batched_row_id``    the interpolative decompositions
@@ -81,6 +84,45 @@ class BatchedBackend(ABC):
     @abstractmethod
     def batched_min_r_diag(self, a: Matrices) -> np.ndarray:
         """Smallest absolute R-diagonal of a QR of every item (convergence test)."""
+
+    def batched_gemm_scatter(
+        self,
+        dest: VariableBatch,
+        dest_pos: np.ndarray,
+        a: Matrices,
+        src: VariableBatch,
+        src_pos: np.ndarray,
+        alpha: float = 1.0,
+        operation: str = "batched_scatter_gemm",
+    ) -> None:
+        """Gathered block-row GEMMs ``dest[dest_pos[i]] += alpha * a_i @ vstack(src[src_pos[i*c : (i+1)*c]])``.
+
+        The per-stage primitive of the compiled H2 apply engine
+        (:mod:`repro.batched.apply_plan`), phrased as the paper's non-uniform
+        BSR row product: each batch item is one *block row* whose static
+        operand ``a_i`` of shape ``(p, c*q)`` concatenates the ``c`` blocks of
+        the row, and whose dynamic operand is the vertical concatenation of
+        ``c`` source blocks gathered from the flat buffer of a
+        :class:`VariableBatch`.  The fan-in ``c`` is implied by
+        ``len(src_pos) == c * len(dest_pos)``.  Because a whole block row is
+        one GEMM, destinations within a call are unique and the scatter is a
+        plain indexed accumulate — callers fuse all blocks sharing a
+        destination into one row.
+
+        This reference implementation executes one GEMM per block row — the
+        per-node "CPU" schedule.  :class:`VectorizedBackend` overrides it with
+        a single gather / stacked-GEMM / scatter sequence per launch.
+        """
+        self._record(operation, 1)
+        rows = len(dest_pos)
+        if rows == 0:
+            return
+        fan_in = len(src_pos) // rows
+        for i in range(rows):
+            parts = [src[int(j)] for j in src_pos[i * fan_in : (i + 1) * fan_in]]
+            rhs = parts[0] if fan_in == 1 else np.vstack(parts)
+            block = dest[int(dest_pos[i])]
+            block += alpha * (a[i] @ rhs)
 
     def batched_row_id(
         self,
@@ -243,6 +285,53 @@ class VectorizedBackend(BatchedBackend):
             for pos, i in enumerate(indices):
                 out[i] = stack[pos]
         return out  # type: ignore[return-value]
+
+    def batched_gemm_scatter(
+        self,
+        dest: VariableBatch,
+        dest_pos: np.ndarray,
+        a: Matrices,
+        src: VariableBatch,
+        src_pos: np.ndarray,
+        alpha: float = 1.0,
+        operation: str = "batched_scatter_gemm",
+    ) -> None:
+        """One gather / stacked-GEMM / scatter per launch.
+
+        The compiled-plan case — a pre-stacked 3-D ``a`` over *uniform* source
+        and destination batches — runs with **no** Python-level per-block work:
+        the ``c`` source blocks of every block row are marshaled with a single
+        first-axis fancy gather (then viewed as the ``(g, c*q, k)`` stacked
+        right-hand side), multiplied with one ``np.matmul`` over the stack, and
+        accumulated with one fancy indexed add (destinations are unique by the
+        block-row contract).  Non-uniform batches or list-of-blocks operands
+        fall back to the reference loop.
+        """
+        rows = len(dest_pos)
+        if rows == 0:
+            self._record(operation, 0)
+            return
+        src_stack = src.uniform_stack()
+        dest_stack = dest.uniform_stack()
+        if (
+            src_stack is None
+            or dest_stack is None
+            or not (isinstance(a, np.ndarray) and a.ndim == 3)
+        ):
+            super().batched_gemm_scatter(
+                dest, dest_pos, a, src, src_pos, alpha=alpha, operation=operation
+            )
+            return
+        self._record(operation, 1)
+        g, p, cq = a.shape
+        k = src_stack.shape[2]
+        if p == 0 or cq == 0 or k == 0:
+            return
+        rhs = src_stack[src_pos].reshape(g, cq, k)
+        prod = np.matmul(a, rhs)
+        if alpha != 1.0:
+            prod *= alpha
+        dest_stack[dest_pos] += prod
 
     def batched_min_r_diag(self, a: Matrices) -> np.ndarray:
         out = np.zeros(len(a), dtype=np.float64)

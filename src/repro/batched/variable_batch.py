@@ -89,6 +89,21 @@ class VariableBatch:
         """Copy every block out into an independent list of arrays."""
         return [self[i].copy() for i in range(len(self))]
 
+    def uniform_stack(self) -> np.ndarray | None:
+        """The batch as a ``(count, rows, cols)`` view when all blocks share one shape.
+
+        Uniform batches (e.g. the level-padded hat vectors of the compiled H2
+        apply engine) admit first-axis fancy indexing of whole blocks, which is
+        far cheaper than per-block flat-offset gathers; returns ``None`` when
+        the shapes differ and the prefix-sum offsets must be used instead.
+        """
+        if len(self) == 0:
+            return None
+        r, c = int(self.rows[0]), int(self.cols[0])
+        if np.all(self.rows == r) and np.all(self.cols == c):
+            return self.data.reshape(len(self), r, c)
+        return None
+
     def memory_bytes(self) -> int:
         """Bytes occupied by the flat buffer (excluding the small offset arrays)."""
         return int(self.data.nbytes)

@@ -1,5 +1,7 @@
-"""Accuracy, memory and profiling diagnostics used by the benchmark harness."""
+"""Accuracy, memory, profiling and apply-throughput diagnostics used by the
+benchmark harness."""
 
+from .apply_report import ApplyReport, apply_report
 from .error import construction_error, dense_relative_error
 from .memory import MemoryReport, memory_report
 from .profiling import PhaseBreakdown, phase_breakdown
@@ -7,6 +9,8 @@ from .reporting import format_table, format_series
 from .solver_report import convergence_table, residual_series
 
 __all__ = [
+    "ApplyReport",
+    "apply_report",
     "construction_error",
     "dense_relative_error",
     "MemoryReport",

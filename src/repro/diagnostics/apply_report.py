@@ -1,0 +1,109 @@
+"""Launch-count and throughput reporting for the batched H2 apply engine.
+
+The construction benchmarks already count batched dispatches (Section IV-B's
+O(log N) launch argument); this module extends the instrumentation to the
+*apply* side: how many batched launches one matvec/matmat costs, how that
+compares to the per-node block count, and what effective throughput the
+compiled plan achieves on a given backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from ..batched.backend import get_backend
+from ..batched.counters import KernelLaunchCounter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hmatrix.h2matrix import H2Matrix
+
+
+@dataclass
+class ApplyReport:
+    """One matrix × backend × RHS-width measurement of the compiled apply."""
+
+    n: int
+    k: int
+    backend: str
+    levels: int
+    #: Batched dispatches issued per apply (== plan stages on both backends).
+    launches_per_apply: int
+    #: Per-node block GEMMs the stages fuse (what the per-node loop would run).
+    block_products: int
+    #: Launches grouped by phase, e.g. ``{"apply_coupling": 7, ...}``.
+    launches_by_phase: Dict[str, int]
+    seconds_per_apply: float
+    #: Executed multiply-add flops per apply (zero-padding included).
+    flops_per_apply: int
+    #: Bytes of pre-stacked static operands read per apply.
+    operand_bytes: int
+
+    @property
+    def gflops(self) -> float:
+        return self.flops_per_apply / max(self.seconds_per_apply, 1e-12) / 1e9
+
+    @property
+    def bandwidth_gb_s(self) -> float:
+        return self.operand_bytes / max(self.seconds_per_apply, 1e-12) / 2**30
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n": self.n,
+            "k": self.k,
+            "backend": self.backend,
+            "levels": self.levels,
+            "launches_per_apply": self.launches_per_apply,
+            "block_products": self.block_products,
+            "launches_by_phase": dict(self.launches_by_phase),
+            "seconds_per_apply": self.seconds_per_apply,
+            "gflops": self.gflops,
+            "bandwidth_gb_s": self.bandwidth_gb_s,
+        }
+
+
+def apply_report(
+    matrix: "H2Matrix",
+    backend: str = "vectorized",
+    k: int = 1,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ApplyReport:
+    """Measure one backend's batched apply of ``matrix`` with ``k`` RHS columns.
+
+    Compiles (or reuses) the matrix's apply plan, runs ``repeats`` applies on a
+    fresh :class:`KernelLaunchCounter` and reports the per-apply launch counts
+    (exactly the plan's stage count — O(levels), independent of the number of
+    tree nodes) together with wall-clock throughput.
+    """
+    plan = matrix.apply_plan()
+    counter = KernelLaunchCounter()
+    be = get_backend(backend, counter=counter)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((matrix.num_rows, k))
+    matrix.matvec(x, backend=be)  # warm-up (also compiles on first use)
+    counter.reset()
+    best = np.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        matrix.matvec(x, backend=be)
+        best = min(best, time.perf_counter() - start)
+    launches = counter.total_calls() // max(1, repeats)
+    by_phase = {
+        op: count // max(1, repeats) for op, count in counter.calls_by_operation().items()
+    }
+    return ApplyReport(
+        n=matrix.num_rows,
+        k=k,
+        backend=be.name,
+        levels=matrix.tree.num_levels,
+        launches_per_apply=launches,
+        block_products=plan.num_block_products,
+        launches_by_phase=by_phase,
+        seconds_per_apply=best,
+        flops_per_apply=plan.flops(k),
+        operand_bytes=int(sum(stage.a.nbytes for stage in plan.stages)),
+    )

@@ -15,18 +15,35 @@ Fig. 6 plots, and dense reconstruction for validation on small problems.
 
 The matrix acts on vectors in the *original* point ordering by default; the
 internal representation lives in the cluster-tree permuted ordering.
+
+Apply engine
+------------
+``matvec`` / ``matmat`` and the transpose applies ``rmatvec`` / ``rmatmat``
+execute through a *compiled batched plan*
+(:mod:`repro.batched.apply_plan`): on first use the matrix is flattened into
+per-level stacked block batches which then run as O(levels) batched launches
+on a pluggable :class:`~repro.batched.backend.BatchedBackend`.  The backend is
+selected per matrix (:attr:`H2Matrix.apply_backend`, default ``"vectorized"``)
+or per call (the ``backend=`` argument); the launch statistics accumulate in
+the backend's :class:`~repro.batched.counters.KernelLaunchCounter`.  The
+original per-node reference loop remains available as :meth:`matvec_loop` and
+anchors the equivalence test-suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..tree.block_partition import BlockPartition
 from ..tree.cluster_tree import ClusterTree
 from .basis_tree import BasisTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..batched.apply_plan import H2ApplyPlan
+    from ..batched.backend import BatchedBackend
 
 
 @dataclass
@@ -43,6 +60,14 @@ class H2Matrix:
     #: Whether the matrix is symmetric (``V_t = U_t``); the constructor in this
     #: reproduction always produces symmetric representations, as in the paper.
     symmetric: bool = True
+    #: Backend executing the compiled apply plan: a name (``"serial"`` /
+    #: ``"vectorized"``) or a :class:`~repro.batched.backend.BatchedBackend`
+    #: instance.  ``None`` resolves to a fresh vectorized backend on first use;
+    #: the resolved instance is kept so launch counters accumulate per matrix.
+    apply_backend: "BatchedBackend | str | None" = None
+    _plan: "Optional[H2ApplyPlan]" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ----------------------------------------------------------------- basics
     @property
@@ -58,8 +83,59 @@ class H2Matrix:
         return self.basis.rank_range()
 
     # ----------------------------------------------------------------- matvec
-    def matvec(self, x: np.ndarray, permuted: bool = False) -> np.ndarray:
-        """Multiply by a vector or block of vectors.
+    def apply_plan(self, rebuild: bool = False) -> "H2ApplyPlan":
+        """The compiled batched apply plan of this matrix (built and cached on
+        first use).
+
+        Pass ``rebuild=True`` after mutating coupling/dense/basis blocks in
+        place — the plan holds stacked copies of the block data.
+        """
+        if self._plan is None or rebuild:
+            from ..batched.apply_plan import compile_apply_plan
+
+            self._plan = compile_apply_plan(self)
+        return self._plan
+
+    def _resolve_backend(
+        self, backend: "BatchedBackend | str | None"
+    ) -> "BatchedBackend":
+        from ..batched.backend import get_backend
+
+        if backend is not None:
+            return get_backend(backend)
+        if self.apply_backend is None or isinstance(self.apply_backend, str):
+            self.apply_backend = get_backend(self.apply_backend or "vectorized")
+        return self.apply_backend
+
+    def _apply(
+        self,
+        x: np.ndarray,
+        permuted: bool,
+        transpose: bool,
+        backend: "BatchedBackend | str | None",
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[:, None]
+        if x.shape[0] != self.num_rows:
+            raise ValueError(
+                f"dimension mismatch: matrix has {self.num_rows} rows, x has {x.shape[0]}"
+            )
+        xp = x if permuted else x[self.tree.perm]
+        yp = self.apply_plan().execute(
+            xp, backend=self._resolve_backend(backend), transpose=transpose
+        )
+        y = yp if permuted else yp[self.tree.iperm]
+        return y[:, 0] if single else y
+
+    def matvec(
+        self,
+        x: np.ndarray,
+        permuted: bool = False,
+        backend: "BatchedBackend | str | None" = None,
+    ) -> np.ndarray:
+        """Multiply by a vector or block of vectors (compiled batched apply).
 
         Parameters
         ----------
@@ -69,6 +145,51 @@ class H2Matrix:
             When ``True``, ``x`` is already in the cluster-tree ordering and the
             result is returned in that ordering (used internally by the
             construction); otherwise the original point ordering is used.
+        backend:
+            Batched backend for this call only; defaults to the matrix-level
+            :attr:`apply_backend`.
+        """
+        return self._apply(x, permuted=permuted, transpose=False, backend=backend)
+
+    def matmat(
+        self,
+        x: np.ndarray,
+        permuted: bool = False,
+        backend: "BatchedBackend | str | None" = None,
+    ) -> np.ndarray:
+        """Multiply by a block of vectors ``(n, k)`` in one batched apply."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"matmat expects a 2-D block, got shape {x.shape}")
+        return self._apply(x, permuted=permuted, transpose=False, backend=backend)
+
+    def rmatvec(
+        self,
+        x: np.ndarray,
+        permuted: bool = False,
+        backend: "BatchedBackend | str | None" = None,
+    ) -> np.ndarray:
+        """Transpose apply ``A^T x`` (exact, whether or not the data is symmetric)."""
+        return self._apply(x, permuted=permuted, transpose=True, backend=backend)
+
+    def rmatmat(
+        self,
+        x: np.ndarray,
+        permuted: bool = False,
+        backend: "BatchedBackend | str | None" = None,
+    ) -> np.ndarray:
+        """Transpose apply to a block of vectors, ``A^T X``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"rmatmat expects a 2-D block, got shape {x.shape}")
+        return self._apply(x, permuted=permuted, transpose=True, backend=backend)
+
+    def matvec_loop(self, x: np.ndarray, permuted: bool = False) -> np.ndarray:
+        """Reference per-node loop apply (the pre-batched implementation).
+
+        Kept as the baseline the compiled engine is validated and benchmarked
+        against; production code paths should use :meth:`matvec` /
+        :meth:`matmat`.
         """
         x = np.asarray(x, dtype=np.float64)
         single = x.ndim == 1

@@ -6,7 +6,13 @@ adapter that turns *anything the library produces* — an :class:`~repro.hmatrix
 :class:`~repro.hmatrix.hodlr.HODLRMatrix`, :class:`~repro.hmatrix.hmatrix.HMatrix`,
 :class:`~repro.linalg.low_rank.LowRankMatrix`, a sketching operator, a dense
 array, a SciPy sparse matrix or a bare callable — into a uniform object with
-``shape``, ``matvec`` and ``@``, so solvers never special-case formats.
+``shape``, ``matvec``, ``matmat`` and ``@``, so solvers never special-case
+formats.
+
+Block right-hand sides are routed through the wrapped object's ``matmat``
+when it provides one (the batched multi-RHS apply of ``H2Matrix``), so a
+``(n, k)`` input costs one batched sweep instead of ``k`` column-at-a-time
+matvecs; otherwise the block is handed to ``matvec`` unchanged.
 """
 
 from __future__ import annotations
@@ -26,10 +32,18 @@ class LinearOperator:
         shape: Tuple[int, int],
         matvec: MatVec,
         rmatvec: Optional[MatVec] = None,
+        matmat: Optional[MatVec] = None,
+        rmatmat: Optional[MatVec] = None,
+        source: object = None,
     ):
         self.shape = (int(shape[0]), int(shape[1]))
         self._matvec = matvec
         self._rmatvec = rmatvec
+        self._matmat = matmat
+        self._rmatmat = rmatmat
+        #: The adapted object (when built by :func:`as_linear_operator`);
+        #: lets diagnostics reach e.g. an ``H2Matrix``'s apply backend.
+        self.source = source
 
     @property
     def n(self) -> int:
@@ -42,14 +56,32 @@ class LinearOperator:
             raise ValueError(
                 f"operator has {self.shape[1]} columns, got input with {x.shape[0]} rows"
             )
+        if x.ndim == 2 and self._matmat is not None:
+            return np.asarray(self._matmat(x))
         return np.asarray(self._matvec(x))
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        """Apply to a block ``(n, k)`` through the dedicated multi-RHS path."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"matmat expects a 2-D block, got shape {x.shape}")
+        return self.matvec(x)
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """Apply the transpose ``A^T x`` (defaults to ``matvec`` when symmetric)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2 and self._rmatmat is not None:
+            return np.asarray(self._rmatmat(x))
         if self._rmatvec is None:
             return self.matvec(x)
-        x = np.asarray(x, dtype=np.float64)
         return np.asarray(self._rmatvec(x))
+
+    def rmatmat(self, x: np.ndarray) -> np.ndarray:
+        """Transpose apply to a block ``(n, k)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"rmatmat expects a 2-D block, got shape {x.shape}")
+        return self.rmatvec(x)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)
@@ -63,6 +95,9 @@ def as_linear_operator(a: object, n: int | None = None) -> LinearOperator:
     * an existing :class:`LinearOperator` (returned unchanged);
     * any hierarchical format or low-rank matrix with ``.matvec`` and
       ``.shape`` (``H2Matrix``, ``HODLRMatrix``, ``HMatrix``, ``LowRankMatrix``);
+      when the object also provides ``.matmat`` / ``.rmatmat`` (the batched
+      multi-RHS applies of ``H2Matrix``), block right-hand sides are routed
+      through them instead of the single-vector path;
     * a sketching operator (``.matvec`` and ``.n``);
     * a dense :class:`numpy.ndarray` or a SciPy sparse matrix;
     * a bare callable ``x -> A @ x`` together with the dimension ``n``.
@@ -82,16 +117,29 @@ def as_linear_operator(a: object, n: int | None = None) -> LinearOperator:
                 raise TypeError(f"cannot infer the dimension of {type(a).__name__}")
             shape = (int(size), int(size))
         rmatvec = getattr(a, "rmatvec", None)
-        return LinearOperator(tuple(shape), matvec, rmatvec if callable(rmatvec) else None)
+        matmat = getattr(a, "matmat", None)
+        rmatmat = getattr(a, "rmatmat", None)
+        return LinearOperator(
+            tuple(shape),
+            matvec,
+            rmatvec if callable(rmatvec) else None,
+            matmat if callable(matmat) else None,
+            rmatmat if callable(rmatmat) else None,
+            source=a,
+        )
     if isinstance(a, np.ndarray):
         if a.ndim != 2:
             raise ValueError("dense operator must be a 2D array")
         mat = np.asarray(a, dtype=np.float64)
-        return LinearOperator(mat.shape, lambda x: mat @ x, lambda x: mat.T @ x)
+        return LinearOperator(
+            mat.shape, lambda x: mat @ x, lambda x: mat.T @ x, source=a
+        )
     if hasattr(a, "shape") and hasattr(a, "dot"):  # SciPy sparse matrix
-        return LinearOperator(tuple(a.shape), lambda x: a @ x, lambda x: a.T @ x)
+        return LinearOperator(
+            tuple(a.shape), lambda x: a @ x, lambda x: a.T @ x, source=a
+        )
     if callable(a):
         if n is None:
             raise ValueError("a bare callable operator requires the dimension n")
-        return LinearOperator((n, n), a)
+        return LinearOperator((n, n), a, source=a)
     raise TypeError(f"cannot interpret {type(a).__name__} as a linear operator")

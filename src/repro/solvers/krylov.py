@@ -5,7 +5,9 @@ them into linear-system workloads (kernel regression, integral equations,
 sparse PDE systems) without ever forming a dense matrix.  All three methods
 
 * accept anything :func:`repro.hmatrix.linear_operator.as_linear_operator`
-  understands as the system operator,
+  understands as the system operator — hierarchical operators iterate on the
+  compiled batched apply path (:mod:`repro.batched.apply_plan`), and the
+  resulting backend/launch diagnostics are recorded in ``KrylovResult.extra``,
 * accept a pluggable preconditioner (``None``, a callable ``x -> M^{-1} x``, or
   an object with ``solve``/``matvec`` such as
   :class:`repro.solvers.preconditioner.HierarchicalPreconditioner` or a
@@ -107,6 +109,21 @@ def _prepare(a: object, b: np.ndarray, x0: np.ndarray | None):
     return op, b, x
 
 
+def _apply_info(op: LinearOperator) -> Dict[str, object]:
+    """Batched-apply diagnostics of the system operator, when it exposes them.
+
+    H2 operators iterate on the compiled batched path
+    (:mod:`repro.batched.apply_plan`); recording the backend name and its
+    cumulative launch counter lets solver reports attribute per-solve launch
+    costs.  Other operators contribute nothing.
+    """
+    backend = getattr(getattr(op, "source", None), "apply_backend", None)
+    name = getattr(backend, "name", None)
+    if name is None:
+        return {}
+    return {"apply_backend": name, "apply_launch_counter": backend.counter}
+
+
 def _result(
     method: str,
     x: np.ndarray,
@@ -183,7 +200,9 @@ def cg(
         rz_next = float(r @ z)
         p = z + (rz_next / rz) * p
         rz = rz_next
-    return _result("cg", x, history, converged, matvecs, precond, start)
+    return _result(
+        "cg", x, history, converged, matvecs, precond, start, **_apply_info(op)
+    )
 
 
 def gmres(
@@ -273,7 +292,15 @@ def gmres(
         if total_iterations >= maxiter:
             break
     return _result(
-        "gmres", x, history, converged, matvecs, precond, start, restart=restart
+        "gmres",
+        x,
+        history,
+        converged,
+        matvecs,
+        precond,
+        start,
+        restart=restart,
+        **_apply_info(op),
     )
 
 
@@ -354,4 +381,6 @@ def bicgstab(
         if rel <= tol:
             converged = True
             break
-    return _result("bicgstab", x, history, converged, matvecs, precond, start)
+    return _result(
+        "bicgstab", x, history, converged, matvecs, precond, start, **_apply_info(op)
+    )

@@ -144,4 +144,5 @@ class HierarchicalPreconditioner:
             stats["construction_tolerance"] = self.construction.config.tolerance
             stats["rank_range"] = f"{lo}-{hi}"
             stats["total_samples"] = self.construction.total_samples
+            stats["construction_kernel_calls"] = self.construction.total_kernel_calls
         return stats

@@ -50,3 +50,5 @@ def total_from_sizes(sizes: Sequence[int]) -> int:
     """Total number of elements required to store all blocks of ``sizes``."""
     arr = np.asarray(sizes, dtype=np.int64)
     return int(arr.sum()) if arr.size else 0
+
+

@@ -1,0 +1,379 @@
+"""Cross-backend equivalence and property tests of the compiled H2 apply engine.
+
+The batched plan (:mod:`repro.batched.apply_plan`) must be an exact reordering
+of the per-node reference loop: every backend, kernel, tree depth and apply
+mode (matvec / matmat / rmatvec / rmatmat, permuted and original ordering) has
+to agree with ``matvec_loop`` and with the dense reconstruction to near machine
+precision, while issuing O(levels) batched launches instead of O(nodes) block
+GEMMs.  Property tests pin down linearity, permutation round-trips,
+matmat-vs-stacked-matvec consistency and seed reproducibility of the full
+construct → compile → solve pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterTree,
+    ConstructionConfig,
+    DenseEntryExtractor,
+    DenseOperator,
+    ExponentialKernel,
+    GeneralAdmissibility,
+    H2Constructor,
+    HelmholtzKernel,
+    KernelLaunchCounter,
+    SerialBackend,
+    VectorizedBackend,
+    as_linear_operator,
+    build_block_partition,
+    cg,
+    compile_apply_plan,
+    get_backend,
+    uniform_cube_points,
+)
+
+BACKENDS = ["serial", "vectorized"]
+#: (kernel name, leaf size) — leaf size 16 doubles the tree depth vs 48.
+PROBLEMS = [
+    ("covariance", 16),
+    ("covariance", 48),
+    ("helmholtz", 16),
+    ("helmholtz", 48),
+]
+
+TOL = 1e-12
+
+
+def _kernel(name):
+    if name == "covariance":
+        return ExponentialKernel(length_scale=0.2)
+    return HelmholtzKernel(wavenumber=3.0)
+
+
+@pytest.fixture(scope="module", params=PROBLEMS, ids=lambda p: f"{p[0]}-leaf{p[1]}")
+def h2_problem(request):
+    """A constructed H2 matrix over 460 2D points plus its dense reconstruction."""
+    name, leaf_size = request.param
+    points = uniform_cube_points(460, dim=2, seed=13)
+    tree = ClusterTree.build(points, leaf_size=leaf_size)
+    partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+    dense = _kernel(name).matrix(tree.points)
+    result = H2Constructor(
+        partition,
+        DenseOperator(dense),
+        DenseEntryExtractor(dense),
+        ConstructionConfig(tolerance=1e-8, sample_block_size=16),
+        seed=3,
+    ).construct()
+    h2 = result.matrix
+    return {
+        "h2": h2,
+        "tree": tree,
+        "h2_dense": h2.to_dense(permuted=True),
+        "depth": tree.depth,
+    }
+
+
+def rel_err(a, b):
+    return float(np.linalg.norm(a - b) / max(np.linalg.norm(b), 1e-300))
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matvec_matches_loop_and_dense(self, h2_problem, backend):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(0).standard_normal(h2.num_rows)
+        batched = h2.matvec(x, permuted=True, backend=backend)
+        assert rel_err(batched, h2.matvec_loop(x, permuted=True)) < TOL
+        assert rel_err(batched, h2_problem["h2_dense"] @ x) < TOL
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matmat_matches_loop_and_dense(self, h2_problem, backend):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(1).standard_normal((h2.num_rows, 6))
+        batched = h2.matmat(x, permuted=True, backend=backend)
+        assert rel_err(batched, h2.matvec_loop(x, permuted=True)) < TOL
+        assert rel_err(batched, h2_problem["h2_dense"] @ x) < TOL
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rmatvec_matches_dense_transpose(self, h2_problem, backend):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(2).standard_normal(h2.num_rows)
+        batched = h2.rmatvec(x, permuted=True, backend=backend)
+        assert rel_err(batched, h2_problem["h2_dense"].T @ x) < TOL
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rmatmat_matches_dense_transpose(self, h2_problem, backend):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(3).standard_normal((h2.num_rows, 4))
+        batched = h2.rmatmat(x, permuted=True, backend=backend)
+        assert rel_err(batched, h2_problem["h2_dense"].T @ x) < TOL
+
+    def test_original_ordering_matches_loop(self, h2_problem):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(4).standard_normal(h2.num_rows)
+        assert rel_err(h2.matvec(x), h2.matvec_loop(x)) < TOL
+
+    def test_backends_agree_with_each_other(self, h2_problem):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(5).standard_normal((h2.num_rows, 3))
+        serial = h2.matmat(x, backend="serial")
+        vectorized = h2.matmat(x, backend="vectorized")
+        assert rel_err(serial, vectorized) < 1e-14
+
+    def test_transpose_adjoint_identity(self, h2_problem):
+        """<y, A x> == <A^T y, x> ties forward and transpose plans together."""
+        h2 = h2_problem["h2"]
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(h2.num_rows)
+        y = rng.standard_normal(h2.num_rows)
+        left = float(y @ h2.matvec(x, permuted=True))
+        right = float(h2.rmatvec(y, permuted=True) @ x)
+        assert abs(left - right) / max(abs(left), 1e-300) < TOL
+
+
+class TestLaunchCounts:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_launches_per_apply_are_o_levels_not_o_nodes(self, h2_problem, backend):
+        h2 = h2_problem["h2"]
+        plan = h2.apply_plan()
+        counter = KernelLaunchCounter()
+        be = get_backend(backend, counter=counter)
+        x = np.random.default_rng(7).standard_normal(h2.num_rows)
+        h2.matvec(x, backend=be)
+        calls = counter.total_calls()
+        # One dispatch per compiled stage, identically on both backends.
+        assert calls == plan.num_stages
+        # O(levels): a bounded number of (phase, fan-in) groups per level ...
+        levels = h2.tree.num_levels
+        assert calls <= 12 * levels
+        # ... and far below the per-node block-product count of the loop.
+        assert plan.num_block_products > calls
+        assert calls < 0.25 * plan.num_block_products
+
+    def test_plan_is_compiled_once_and_cached(self, h2_problem):
+        h2 = h2_problem["h2"]
+        plan = h2.apply_plan()
+        x = np.random.default_rng(8).standard_normal(h2.num_rows)
+        h2.matvec(x)
+        assert h2.apply_plan() is plan
+        assert h2.apply_plan(rebuild=True) is not plan
+
+    def test_stage_phases_cover_all_blocks(self, h2_problem):
+        h2 = h2_problem["h2"]
+        plan = h2.apply_plan()
+        nonzero_coupling = sum(1 for b in h2.coupling.values() if b.size)
+        nonzero_dense = sum(1 for d in h2.dense.values() if d.size)
+        per_phase = {}
+        for stage in plan.stages:
+            per_phase[stage.op] = per_phase.get(stage.op, 0) + stage.num_blocks
+        assert per_phase.get("apply_coupling", 0) == nonzero_coupling
+        assert per_phase.get("apply_dense", 0) == nonzero_dense
+
+
+class TestPlanProperties:
+    def test_linearity(self, h2_problem):
+        h2 = h2_problem["h2"]
+        rng = np.random.default_rng(9)
+        x, y = rng.standard_normal((2, h2.num_rows))
+        a, b = 0.37, -2.5
+        combined = h2.matvec(a * x + b * y, permuted=True)
+        split = a * h2.matvec(x, permuted=True) + b * h2.matvec(y, permuted=True)
+        assert rel_err(combined, split) < TOL
+
+    def test_permutation_round_trip(self, h2_problem):
+        """matvec in original ordering == permute, apply permuted, un-permute."""
+        h2 = h2_problem["h2"]
+        tree = h2_problem["tree"]
+        x = np.random.default_rng(10).standard_normal(h2.num_rows)
+        direct = h2.matvec(x, permuted=False)
+        round_trip = h2.matvec(x[tree.perm], permuted=True)[tree.iperm]
+        assert rel_err(round_trip, direct) < 1e-15
+
+    def test_matmat_consistent_with_stacked_matvecs(self, h2_problem):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(11).standard_normal((h2.num_rows, 5))
+        block = h2.matmat(x, permuted=True)
+        columns = np.column_stack(
+            [h2.matvec(x[:, j], permuted=True) for j in range(x.shape[1])]
+        )
+        assert rel_err(block, columns) < TOL
+
+    def test_zero_input_and_wrong_shapes(self, h2_problem):
+        h2 = h2_problem["h2"]
+        assert np.all(h2.matvec(np.zeros(h2.num_rows)) == 0.0)
+        with pytest.raises(ValueError):
+            h2.matvec(np.ones(h2.num_rows + 1))
+        with pytest.raises(ValueError):
+            h2.matmat(np.ones(h2.num_rows))  # 1-D input to the block apply
+        with pytest.raises(ValueError):
+            h2.rmatmat(np.ones(h2.num_rows))
+
+    def test_single_leaf_matrix(self):
+        """A tree without subdivision (dense-only plan) still applies exactly."""
+        points = uniform_cube_points(40, dim=2, seed=14)
+        tree = ClusterTree.build(points, leaf_size=64)
+        assert tree.depth == 0
+        partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+        dense = ExponentialKernel(0.3).matrix(tree.points)
+        h2 = H2Constructor(
+            partition,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            ConstructionConfig(tolerance=1e-8),
+            seed=1,
+        ).construct().matrix
+        x = np.random.default_rng(0).standard_normal(40)
+        assert rel_err(h2.matvec(x, permuted=True), dense @ x) < 1e-12
+
+    def test_seed_reproducibility_of_pipeline(self):
+        """construct → compile → solve is bit-stable for a fixed seed."""
+
+        def pipeline():
+            points = uniform_cube_points(300, dim=2, seed=21)
+            tree = ClusterTree.build(points, leaf_size=24)
+            partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+            dense = ExponentialKernel(0.2).matrix(tree.points) + 0.05 * np.eye(300)
+            h2 = H2Constructor(
+                partition,
+                DenseOperator(dense),
+                DenseEntryExtractor(dense),
+                ConstructionConfig(tolerance=1e-7, sample_block_size=16),
+                seed=17,
+            ).construct().matrix
+            x = np.random.default_rng(2).standard_normal(300)
+            apply_out = h2.matvec(x)
+            solve = cg(h2, x, tol=1e-8, maxiter=2000)
+            return apply_out, solve
+
+        first_apply, first_solve = pipeline()
+        second_apply, second_solve = pipeline()
+        assert np.array_equal(first_apply, second_apply)
+        assert first_solve.iterations == second_solve.iterations
+        assert np.array_equal(first_solve.x, second_solve.x)
+        assert np.array_equal(
+            first_solve.residual_norms, second_solve.residual_norms
+        )
+
+
+class TestCompileApplyPlanApi:
+    def test_compile_standalone_matches_cached(self, h2_problem):
+        h2 = h2_problem["h2"]
+        plan = compile_apply_plan(h2)
+        x = np.random.default_rng(12).standard_normal((h2.num_rows, 2))
+        xp = np.ascontiguousarray(x)
+        out = plan.execute(xp, backend="vectorized")
+        assert rel_err(out, h2.matmat(x, permuted=True)) < 1e-14
+
+    def test_fan_padding_is_exact(self, h2_problem):
+        """Wider fan buckets only add zero blocks — results are unchanged."""
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(13).standard_normal(h2.num_rows)
+        reference = h2.matvec_loop(x, permuted=True)
+        for fan_pad in (1, 3, 8):
+            plan = compile_apply_plan(h2, fan_pad=fan_pad)
+            out = plan.execute(x[:, None], backend="vectorized")[:, 0]
+            assert rel_err(out, reference) < TOL
+
+    def test_rank_bucketing_is_exact(self, h2_problem):
+        h2 = h2_problem["h2"]
+        x = np.random.default_rng(14).standard_normal(h2.num_rows)
+        reference = h2.matvec_loop(x, permuted=True)
+        plan = compile_apply_plan(h2, pad_to=16)
+        out = plan.execute(x[:, None], backend="serial")[:, 0]
+        assert rel_err(out, reference) < TOL
+
+    def test_execute_rejects_bad_shapes(self, h2_problem):
+        plan = h2_problem["h2"].apply_plan()
+        with pytest.raises(ValueError):
+            plan.execute(np.ones(plan.n), backend="vectorized")  # 1-D
+        with pytest.raises(ValueError):
+            plan.execute(np.ones((plan.n + 2, 1)), backend="vectorized")
+
+    def test_describe_and_stats(self, h2_problem):
+        plan = h2_problem["h2"].apply_plan()
+        text = plan.describe()
+        assert "stages" in text and "block_products" in text
+        assert plan.flops(2) == 2 * plan.flops(1)
+        assert plan.memory_bytes() > 0
+        assert sum(plan.stage_counts().values()) == plan.num_stages
+
+
+class TestLinearOperatorRouting:
+    def test_block_rhs_routed_through_matmat(self):
+        """as_linear_operator must not fall back to column-at-a-time matvec."""
+
+        class BlockOnly:
+            shape = (6, 6)
+
+            def matvec(self, x):
+                assert np.asarray(x).ndim == 1, "block RHS must use matmat"
+                return 2.0 * x
+
+            def matmat(self, x):
+                assert np.asarray(x).ndim == 2
+                return 2.0 * x
+
+        op = as_linear_operator(BlockOnly())
+        block = np.random.default_rng(0).standard_normal((6, 3))
+        assert np.allclose(op.matvec(block), 2.0 * block)
+        assert np.allclose(op.matmat(block), 2.0 * block)
+        assert np.allclose(op.matvec(block[:, 0]), 2.0 * block[:, 0])
+
+    def test_h2_operator_block_apply_matches_matmat(self, h2_problem):
+        h2 = h2_problem["h2"]
+        op = as_linear_operator(h2)
+        assert op.source is h2
+        block = np.random.default_rng(1).standard_normal((h2.num_rows, 4))
+        assert np.array_equal(op.matvec(block), h2.matmat(block))
+        assert rel_err(op.rmatmat(block), h2.rmatmat(block)) == 0.0
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    """ISSUE acceptance: ≥ 3× matvec speedup at N = 8192 with 1e-12 agreement."""
+
+    def test_batched_matvec_speedup_8192(self):
+        import os
+        import time
+
+        n = 8192
+        points = uniform_cube_points(n, dim=2, seed=1)
+        tree = ClusterTree.build(points, leaf_size=32)
+        partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
+        dense = ExponentialKernel(0.2).matrix(tree.points)
+        h2 = H2Constructor(
+            partition,
+            DenseOperator(dense),
+            DenseEntryExtractor(dense),
+            ConstructionConfig(tolerance=1e-6),
+            seed=7,
+        ).construct().matrix
+        x = np.random.default_rng(1).standard_normal(n)
+
+        batched = h2.matvec(x, permuted=True, backend="vectorized")
+        loop = h2.matvec_loop(x, permuted=True)
+        assert rel_err(batched, loop) < 1e-12
+
+        def best_of(f, repeats):
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                f()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        h2.matvec(x, backend="vectorized")  # ensure plan + buffers warm
+        loop_s = best_of(lambda: h2.matvec_loop(x, permuted=True), repeats=5)
+        batched_s = best_of(
+            lambda: h2.matvec(x, permuted=True, backend="vectorized"), repeats=10
+        )
+        speedup = loop_s / batched_s
+        # 3x is the acceptance bar on a quiet machine; contended CI runners can
+        # override it (the throughput benchmark carries the full claim there).
+        bar = float(os.environ.get("REPRO_APPLY_SPEEDUP_MIN", "3.0"))
+        assert speedup >= bar, (
+            f"batched matvec speedup {speedup:.2f}x below the {bar:.1f}x bar "
+            f"(loop {loop_s * 1e3:.1f} ms, batched {batched_s * 1e3:.1f} ms)"
+        )
