@@ -26,7 +26,12 @@ from repro import (
 )
 from repro.diagnostics import format_table
 
-from common import DEFAULT_SAMPLE_BLOCK, bench_sizes, make_covariance_problem
+from common import (
+    DEFAULT_SAMPLE_BLOCK,
+    bench_sizes,
+    emit_bench_json,
+    make_covariance_problem,
+)
 
 NUGGET = 1e-2
 SOLVE_TOL = 1e-8
@@ -118,6 +123,7 @@ def run_convergence_sweep():
             title="Solver convergence: covariance system (K + 1e-2 I) x = b, tol 1e-8",
         )
     )
+    emit_bench_json("solver_convergence", rows)
     return rows
 
 

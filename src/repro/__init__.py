@@ -37,6 +37,15 @@ for the full walk-through)
 ...                                              tolerance=1e-2)
 >>> b = np.ones(tree.num_points)
 >>> solve = cg(h2, b, tol=1e-8, M=M)   # solve.x, solve.iterations, ...
+
+Gaussian-process regression with geometry-reuse hyperparameter sweeps
+---------------------------------------------------------------------
+>>> from repro import GaussianProcess
+>>> y = np.sin(points[:, 0] * 6.0)
+>>> gp = GaussianProcess(points, ExponentialKernel(0.2), noise=1e-2)
+>>> gp.fit(y, length_scales=[0.1, 0.2, 0.4])   # sweep re-uses the geometry
+>>> mean, std = gp.predict(points[:16], return_std=True)
+>>> gp.log_marginal_likelihood_                # doctest: +SKIP
 """
 
 from .batched import (
@@ -53,15 +62,26 @@ from .batched import (
 from .core import (
     ConstructionConfig,
     ConstructionResult,
+    GeometryContext,
     H2Constructor,
     recompress_h2,
 )
 from .diagnostics import (
+    GPFitReport,
+    apply_report,
     construction_error,
     convergence_table,
+    format_table,
+    gp_sweep_table,
     memory_report,
     phase_breakdown,
     residual_series,
+)
+from .gp import (
+    GaussianProcess,
+    NotPositiveDefiniteError,
+    hyperparameter_grid,
+    nelder_mead,
 )
 from .geometry import (
     BoundingBox,
@@ -76,6 +96,7 @@ from .hmatrix import (
     HMatrix,
     HODLRMatrix,
     LinearOperator,
+    ShiftedLinearOperator,
     as_linear_operator,
     build_hodlr,
     build_hss,
@@ -89,6 +110,10 @@ from .kernels import (
     LaplaceKernel,
     Matern32Kernel,
     Matern52Kernel,
+    PairwiseKernel,
+    ScaledKernel,
+    SumKernel,
+    WhiteNoiseKernel,
 )
 from .linalg import (
     LowRankMatrix,
@@ -146,12 +171,16 @@ __all__ = [
     "random_sphere_points",
     # kernels
     "KernelFunction",
+    "PairwiseKernel",
     "ExponentialKernel",
     "GaussianKernel",
     "Matern32Kernel",
     "Matern52Kernel",
     "HelmholtzKernel",
     "LaplaceKernel",
+    "ScaledKernel",
+    "SumKernel",
+    "WhiteNoiseKernel",
     # linalg
     "LowRankMatrix",
     "random_low_rank",
@@ -190,6 +219,7 @@ __all__ = [
     "hodlr_from_h2",
     "build_hss",
     "LinearOperator",
+    "ShiftedLinearOperator",
     "as_linear_operator",
     # solvers
     "cg",
@@ -204,11 +234,21 @@ __all__ = [
     "H2Constructor",
     "ConstructionConfig",
     "ConstructionResult",
+    "GeometryContext",
     "recompress_h2",
+    # Gaussian processes
+    "GaussianProcess",
+    "NotPositiveDefiniteError",
+    "hyperparameter_grid",
+    "nelder_mead",
     # diagnostics
     "construction_error",
     "memory_report",
     "phase_breakdown",
     "convergence_table",
     "residual_series",
+    "apply_report",
+    "format_table",
+    "GPFitReport",
+    "gp_sweep_table",
 ]

@@ -74,8 +74,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 BufferKey = Tuple
 
 #: One block row awaiting compilation: destination position and the
-#: ``(static_block, source_position)`` pairs fused into the row.
-_Row = Tuple[int, List[Tuple[np.ndarray, int]]]
+#: ``(static_block, source_position, block_key)`` triples fused into the row.
+#: ``block_key`` names the matrix block the operand came from — ``("U", node,
+#: transposed)``, ``("E", child, transposed)``, ``("B", s, t, transposed)`` or
+#: ``("D", s, t, transposed)`` — so :meth:`H2ApplyPlan.refresh` can re-stack
+#: new coefficients into the compiled layout.
+_Row = Tuple[int, List[Tuple[np.ndarray, int, Tuple]]]
 
 
 @dataclass(frozen=True, eq=False)
@@ -98,6 +102,9 @@ class ApplyStage:
     fan_in: int
     #: Number of real (un-padded) block products fused into this stage.
     num_blocks: int
+    #: ``(row, slot, block_key)`` fill recipe of the real blocks inside ``a``
+    #: (used by :meth:`H2ApplyPlan.refresh` to re-stack new coefficients).
+    recipe: Tuple[Tuple[int, int, Tuple], ...] = ()
 
     @property
     def batch_size(self) -> int:
@@ -160,6 +167,7 @@ class H2ApplyPlan:
         self._forward_stages = self._assemble(matrix, transpose=False)
         self._transpose_stages: List[ApplyStage] | None = None
         self._matrix = matrix  # needed for lazy transpose compilation
+        self._signature = self._structure(matrix)
 
     # ------------------------------------------------------------ compilation
     def _bucket(self, rank: int) -> int:
@@ -214,12 +222,14 @@ class H2ApplyPlan:
             dest_pos = np.empty(len(group), dtype=np.int64)
             src_pos = np.full(len(group) * fan, sentinel, dtype=np.int64)
             num_blocks = 0
+            recipe: List[Tuple[int, int, Tuple]] = []
             for i, (dpos, blocks) in enumerate(group):
                 dest_pos[i] = dpos
                 num_blocks += len(blocks)
-                for j, (block, spos) in enumerate(blocks):
+                for j, (block, spos, key) in enumerate(blocks):
                     a[i, :, j * q : (j + 1) * q] = block
                     src_pos[i * fan + j] = spos
+                    recipe.append((i, j, key))
             stages.append(
                 ApplyStage(
                     op=op,
@@ -231,6 +241,7 @@ class H2ApplyPlan:
                     src_pos=src_pos,
                     fan_in=fan,
                     num_blocks=num_blocks,
+                    recipe=tuple(recipe),
                 )
             )
         return stages
@@ -252,8 +263,12 @@ class H2ApplyPlan:
             if u is None or u.size == 0:
                 continue
             lpos = self._leaf_pos[node]
-            leaf_up.append((pos, [(self._padded(u.T, r_leaf, m), lpos)]))
-            leaf_down.append((lpos, [(self._padded(u, m, r_leaf), pos)]))
+            leaf_up.append(
+                (pos, [(self._padded(u.T, r_leaf, m), lpos, ("U", node, True))])
+            )
+            leaf_down.append(
+                (lpos, [(self._padded(u, m, r_leaf), pos, ("U", node, False))])
+            )
 
         up: List[ApplyStage] = []
         down: List[ApplyStage] = []
@@ -272,8 +287,10 @@ class H2ApplyPlan:
                     continue
                 ppos = parent_pos[parent]
                 row = up_rows.setdefault(ppos, (ppos, []))
-                row[1].append((self._padded(e.T, rp, rc), cpos))
-                down_rows.append((cpos, [(self._padded(e, rc, rp), ppos)]))
+                row[1].append((self._padded(e.T, rp, rc), cpos, ("E", child, True)))
+                down_rows.append(
+                    (cpos, [(self._padded(e, rc, rp), ppos, ("E", child, False))])
+                )
             up.extend(
                 self._rows_to_stages(
                     "apply_upsweep",
@@ -327,7 +344,7 @@ class H2ApplyPlan:
             else:
                 block, dpos, spos = self._padded(b, r, r), pos[s], pos[t]
             row = per_level.setdefault(level, {}).setdefault(dpos, (dpos, []))
-            row[1].append((block, spos))
+            row[1].append((block, spos, ("B", s, t, transpose)))
         stages = []
         for level in sorted(per_level):
             stages.extend(
@@ -354,7 +371,7 @@ class H2ApplyPlan:
             else:
                 block, dpos, spos = self._padded(d, m, m), self._leaf_pos[s], self._leaf_pos[t]
             row = rows.setdefault(dpos, (dpos, []))
-            row[1].append((block, spos))
+            row[1].append((block, spos, ("D", s, t, transpose)))
         return self._rows_to_stages(
             "apply_dense",
             self.depth,
@@ -383,6 +400,106 @@ class H2ApplyPlan:
         if self._transpose_stages is None:
             self._transpose_stages = self._assemble(self._matrix, transpose=True)
         return self._transpose_stages
+
+    # ----------------------------------------------------- coefficient refresh
+    @staticmethod
+    def _structure(matrix: "H2Matrix") -> Tuple:
+        """Structural fingerprint: everything the compiled layout depends on.
+
+        Two matrices with equal structures (tree sizes, per-node ranks, block
+        key sets and therefore all block shapes) compile to identical plans up
+        to the *values* inside the stacked operands — exactly the situation of
+        a hyperparameter sweep re-constructing the same geometry with new
+        kernel coefficients.
+        """
+        tree, basis = matrix.tree, matrix.basis
+        ranks = tuple(
+            (node, basis.rank(node))
+            for node in range(tree.num_nodes)
+            if basis.has_basis(node) and basis.rank(node) > 0
+        )
+        leaf_sizes = tuple(int(tree.cluster_size(node)) for node in tree.leaves())
+        coupling = tuple(
+            sorted((s, t) for (s, t), b in matrix.coupling.items() if b.size)
+        )
+        dense = tuple(sorted((s, t) for (s, t), d in matrix.dense.items() if d.size))
+        bases = tuple(
+            sorted(
+                (node, u.shape)
+                for node, u in basis.leaf_bases.items()
+                if u is not None and u.size
+            )
+        )
+        transfers = tuple(
+            sorted(
+                (node, e.shape)
+                for node, e in basis.transfers.items()
+                if e is not None and e.size
+            )
+        )
+        return (tree.num_points, ranks, leaf_sizes, coupling, dense, bases, transfers)
+
+    @staticmethod
+    def _lookup_block(matrix: "H2Matrix", key: Tuple) -> np.ndarray:
+        kind = key[0]
+        if kind == "U":
+            block = matrix.basis.leaf_bases[key[1]]
+        elif kind == "E":
+            block = matrix.basis.transfers[key[1]]
+        elif kind == "B":
+            block = matrix.coupling[(key[1], key[2])]
+        else:
+            block = matrix.dense[(key[1], key[2])]
+        return block.T if key[-1] else block
+
+    def matches(self, matrix: "H2Matrix") -> bool:
+        """Whether ``matrix`` has the structure this plan was compiled for."""
+        return self._structure(matrix) == self._signature
+
+    def refresh(self, matrix: "H2Matrix") -> "H2ApplyPlan":
+        """Re-stack the plan's operands with the blocks of ``matrix`` in place.
+
+        The sweep-reuse fast path: when a re-construction over the same
+        geometry reproduces the structure of the originally compiled matrix
+        (same tree, per-node ranks and block key sets — see :meth:`matches`),
+        the compiled layout (positions, paddings, stage grouping) is still
+        valid and only the numerical coefficients need re-stacking.  Raises
+        :class:`ValueError` on a structural mismatch; compile a fresh plan in
+        that case.
+
+        Ownership moves to ``matrix``: the plan's operand arrays are mutated,
+        so the previously attached matrix (if it still points at this plan)
+        is detached and will lazily compile a fresh plan of its own on next
+        use — earlier sweep results stay correct at the cost of a recompile
+        if they are applied again.
+        """
+        if not self.matches(matrix):
+            raise ValueError(
+                "matrix structure does not match the compiled plan; "
+                "use compile_apply_plan to build a fresh plan"
+            )
+        previous = self._matrix
+        if (
+            previous is not None
+            and previous is not matrix
+            and getattr(previous, "_plan", None) is self
+        ):
+            previous._plan = None
+        stages = list(self._forward_stages)
+        if self._transpose_stages is not None:
+            stages.extend(self._transpose_stages)
+        seen: set = set()
+        for stage in stages:
+            if id(stage.a) in seen:
+                continue  # sweep stages are shared between forward and transpose
+            seen.add(id(stage.a))
+            stage.a[...] = 0.0
+            q = stage.a.shape[2] // stage.fan_in
+            for i, j, key in stage.recipe:
+                block = self._lookup_block(matrix, key)
+                stage.a[i, : block.shape[0], j * q : j * q + block.shape[1]] = block
+        self._matrix = matrix
+        return self
 
     # -------------------------------------------------------------- execution
     def _leaf_buffer(self, values: np.ndarray | None, k: int) -> VariableBatch:

@@ -8,6 +8,7 @@ application of the paper.
 """
 
 from .builder import ConstructionResult, H2Constructor
+from .context import BlockDistanceCachingExtractor, ContextStatistics, GeometryContext
 from .config import ConstructionConfig
 from .convergence import ConvergenceTester
 from .recompression import recompress_h2
@@ -15,6 +16,9 @@ from .skeleton_store import NodeSkeleton, SkeletonStore
 
 __all__ = [
     "H2Constructor",
+    "GeometryContext",
+    "ContextStatistics",
+    "BlockDistanceCachingExtractor",
     "ConstructionConfig",
     "ConstructionResult",
     "ConvergenceTester",

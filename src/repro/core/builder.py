@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,6 +113,7 @@ class H2Constructor:
         extractor: EntryExtractor,
         config: ConstructionConfig | None = None,
         seed: SeedLike = None,
+        sample_source: Callable[[int], np.ndarray] | None = None,
     ):
         self.partition = partition
         self.tree = partition.tree
@@ -120,6 +121,12 @@ class H2Constructor:
         self.extractor = extractor
         self.config = config if config is not None else ConstructionConfig()
         self.rng = as_generator(seed)
+        #: Optional external source of random sample blocks: a callable
+        #: ``count -> (n, count)`` replacing the backend's ``batched_rand``.
+        #: A :class:`~repro.core.context.GeometryContext` passes a frozen
+        #: sample bank here so every construction of a hyperparameter sweep
+        #: sketches with the *same* random vectors.
+        self.sample_source = sample_source
 
         n = self.tree.num_points
         if operator.n != n or extractor.n != n:
@@ -218,7 +225,14 @@ class H2Constructor:
     def _build_convergence_tester(self) -> ConvergenceTester:
         cfg = self.config
         need_norm = cfg.adaptive or cfg.id_tolerance_mode == "absolute"
-        if need_norm:
+        if need_norm and cfg.norm_estimate is not None:
+            self._norm_estimate = float(cfg.norm_estimate)
+            tester = ConvergenceTester(
+                absolute_threshold=cfg.convergence_safety_factor
+                * cfg.tolerance
+                * self._norm_estimate
+            )
+        elif need_norm:
             tester = ConvergenceTester.from_operator(
                 self.operator,
                 cfg.tolerance,
@@ -245,8 +259,19 @@ class H2Constructor:
         """Draw ``count`` fresh random vectors and sketch them through the operator."""
         n = self.tree.num_points
         with self.timer.phase("sampling"):
-            batch = self.backend.batched_random_normal([(n, count)], seed=self.rng)
-            omega = batch[0]
+            if self.sample_source is not None:
+                omega = np.ascontiguousarray(
+                    self.sample_source(count), dtype=np.float64
+                )
+                if omega.shape != (n, count):
+                    raise ValueError(
+                        f"sample_source returned shape {omega.shape}, "
+                        f"expected {(n, count)}"
+                    )
+                self.counter.record("batched_rand", 1)
+            else:
+                batch = self.backend.batched_random_normal([(n, count)], seed=self.rng)
+                omega = batch[0]
             y = self.operator.multiply(omega)
         self._sample_draws += 1
         self._total_samples += count

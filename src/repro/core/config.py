@@ -48,6 +48,13 @@ class ConstructionConfig:
     norm_estimation_iterations:
         Power-method iterations used to estimate the matrix norm that converts
         the relative tolerance into absolute thresholds.
+    norm_estimate:
+        Optional known estimate of ``||K||_2``.  When given, the power-method
+        estimation (several black-box operator applications) is skipped and the
+        adaptive convergence / absolute-ID thresholds are derived from this
+        value instead — the sweep-reuse path of
+        :class:`~repro.core.context.GeometryContext` feeds the previous
+        construction's estimate back in when the operator is expensive.
     convergence_safety_factor:
         Multiplies the absolute convergence threshold; values below 1 make the
         adaptive test stricter (more samples, better accuracy).
@@ -62,6 +69,7 @@ class ConstructionConfig:
     id_tolerance_mode: str = "relative"
     backend: Union[str, BatchedBackend] = "vectorized"
     norm_estimation_iterations: int = 6
+    norm_estimate: float | None = None
     convergence_safety_factor: float = 1.0
 
     def __post_init__(self) -> None:
@@ -73,6 +81,8 @@ class ConstructionConfig:
             raise ValueError("initial_samples must be positive when given")
         if self.id_tolerance_mode not in ("relative", "absolute"):
             raise ValueError("id_tolerance_mode must be 'relative' or 'absolute'")
+        if self.norm_estimate is not None and self.norm_estimate <= 0:
+            raise ValueError("norm_estimate must be positive when given")
         if self.convergence_safety_factor <= 0:
             raise ValueError("convergence_safety_factor must be positive")
 

@@ -1,0 +1,398 @@
+"""Geometry-reuse construction context for hyperparameter sweeps.
+
+A Gaussian-process log-likelihood optimization (or any kernel hyperparameter
+sweep) re-constructs the hierarchical representation of ``K(theta)`` at many
+parameter points over the *same* point set.  Almost everything the constructor
+touches is independent of ``theta``:
+
+* the cluster tree and block partition (pure geometry),
+* the pairwise distances every radial kernel is evaluated on,
+* the random sketching vectors ``Omega`` (the sample pattern),
+* the number of samples the adaptive construction ends up needing
+  (ranks move slowly with the kernel parameters), and
+* the compiled apply-plan skeleton (positions, paddings, stage grouping),
+  whenever the re-construction reproduces the same per-node ranks.
+
+:class:`GeometryContext` caches all of it once and hands
+:meth:`construct` out per parameter point, so re-construction costs little
+more than the unavoidable kernel-value work: sweeping three length scales is
+close to the cost of one cold construction plus two "evaluate + re-stack"
+passes rather than three full cold runs.
+
+Two cache policies are provided.  With the dense distance cache (the default
+whenever it fits the byte budget) the permuted distance matrix is stored once
+and each parameter point evaluates the kernel profile on it in one vectorised
+pass; the sketching operator then runs on the resulting dense array, i.e.
+every black-box application is a GEMM.  Beyond the budget the context falls
+back to a block-level distance cache covering the (fixed) inadmissible leaf
+blocks while the sketching operator evaluates kernel rows on the fly.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..batched.backend import BatchedBackend, get_backend
+from ..kernels.base import KernelFunction, PairwiseKernel, pairwise_distances
+from ..sketching.entry_extractor import (
+    DenseEntryExtractor,
+    EntryExtractor,
+    KernelEntryExtractor,
+)
+from ..sketching.operators import DenseOperator, KernelMatVecOperator, SketchingOperator
+from ..tree.admissibility import WeakAdmissibility
+from ..tree.block_partition import BlockPartition, build_block_partition
+from ..tree.cluster_tree import ClusterTree
+from ..utils.rng import SeedLike, as_generator
+from .builder import ConstructionResult, H2Constructor
+from .config import ConstructionConfig
+
+
+class _OmegaBank:
+    """Lazily grown bank of frozen standard-normal sample columns.
+
+    Every construction of a sweep draws its sample blocks as consecutive
+    column slices starting from column zero, so two constructions that need
+    the same number of samples sketch with *identical* random vectors — the
+    sample pattern becomes part of the cached geometry.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator):
+        self.n = int(n)
+        self._rng = rng
+        self._data = np.empty((self.n, 0), dtype=np.float64)
+
+    @property
+    def num_columns(self) -> int:
+        return int(self._data.shape[1])
+
+    def columns(self, start: int, stop: int) -> np.ndarray:
+        if stop > self._data.shape[1]:
+            grow_to = max(stop, 2 * self._data.shape[1], 64)
+            fresh = self._rng.standard_normal((self.n, grow_to - self._data.shape[1]))
+            self._data = np.hstack([self._data, fresh])
+        return self._data[:, start:stop]
+
+    def sampler(self) -> Callable[[int], np.ndarray]:
+        """A draw function replaying the bank from its first column."""
+        cursor = 0
+
+        def draw(count: int) -> np.ndarray:
+            nonlocal cursor
+            block = self.columns(cursor, cursor + count)
+            cursor += count
+            return block
+
+        return draw
+
+
+class BlockDistanceCachingExtractor(EntryExtractor):
+    """Entry extractor caching distance sub-blocks of contiguous index ranges.
+
+    The dense (inadmissible leaf) blocks requested by the constructor are
+    contiguous ``[start, end)`` ranges fixed by the geometry, so their distance
+    blocks can be computed once per sweep and only the (cheap) radial profile
+    re-evaluated per parameter point.  Non-contiguous requests (coupling
+    blocks at parameter-dependent skeleton indices) are evaluated directly.
+    """
+
+    def __init__(
+        self,
+        kernel: PairwiseKernel,
+        points: np.ndarray,
+        cache: Dict[Tuple[int, int, int, int], np.ndarray],
+        cache_limit_bytes: int,
+    ):
+        super().__init__()
+        self.kernel = kernel
+        self.points = np.asarray(points, dtype=np.float64)
+        self._cache = cache
+        self._limit = int(cache_limit_bytes)
+
+    @property
+    def n(self) -> int:
+        return int(self.points.shape[0])
+
+    @staticmethod
+    def _is_contiguous(indices: np.ndarray) -> bool:
+        """Exactly ``arange(start, stop)`` — gapped or permuted sets must miss.
+
+        Skeleton-index requests carry unsorted pivot orders whose span can
+        coincidentally equal their size; keying those as ranges would poison
+        the cache with reordered blocks.
+        """
+        return bool(
+            indices.size
+            and int(indices[-1]) - int(indices[0]) + 1 == indices.size
+            and np.array_equal(
+                indices, np.arange(int(indices[0]), int(indices[-1]) + 1)
+            )
+        )
+
+    @classmethod
+    def _range_key(cls, rows: np.ndarray, cols: np.ndarray):
+        if cls._is_contiguous(rows) and cls._is_contiguous(cols):
+            return (int(rows[0]), int(rows[-1]), int(cols[0]), int(cols[-1]))
+        return None
+
+    def _cached_bytes(self) -> int:
+        return sum(block.nbytes for block in self._cache.values())
+
+    def _extract(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        key = self._range_key(rows, cols)
+        if key is None:
+            return self.kernel.evaluate(self.points[rows], self.points[cols])
+        r = self._cache.get(key)
+        if r is None:
+            r = pairwise_distances(self.points[rows], self.points[cols])
+            if self._cached_bytes() + r.nbytes <= self._limit:
+                self._cache[key] = r
+        return self.kernel.profile_with_diagonal(r)
+
+
+@dataclass
+class ContextStatistics:
+    """Reuse counters of a :class:`GeometryContext` (sweep diagnostics)."""
+
+    constructions: int = 0
+    plan_compilations: int = 0
+    plan_reuses: int = 0
+    result_cache_hits: int = 0
+    sample_columns_cached: int = 0
+    setup_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "constructions": self.constructions,
+            "plan_compilations": self.plan_compilations,
+            "plan_reuses": self.plan_reuses,
+            "result_cache_hits": self.result_cache_hits,
+            "sample_columns_cached": self.sample_columns_cached,
+            "setup_seconds": self.setup_seconds,
+        }
+
+
+class GeometryContext:
+    """Caches every kernel-parameter-independent ingredient of H2 construction.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` point coordinates (original ordering).
+    leaf_size:
+        Cluster-tree leaf size.
+    admissibility:
+        Block-partition admissibility; defaults to
+        :class:`~repro.tree.admissibility.WeakAdmissibility` (the HSS/HODLR
+        partition every downstream factorization consumes — pass a
+        :class:`~repro.tree.admissibility.GeneralAdmissibility` for general
+        H2 sweeps).
+    backend:
+        Batched backend name (``"serial"``/``"vectorized"``) used for both
+        construction and the compiled apply plans of the produced matrices.
+    distance_cache:
+        ``"dense"`` stores the full permuted distance matrix (fastest),
+        ``"blocks"`` caches per-block distances of the inadmissible leaf
+        blocks only, ``"none"`` disables distance caching, and ``"auto"``
+        (default) picks ``"dense"`` when two ``n x n`` float64 buffers fit in
+        ``cache_limit_mb`` and ``"blocks"`` otherwise.
+    cache_limit_mb:
+        Byte budget of the distance cache.
+    seed:
+        Seed of the frozen sample bank (and of the norm-estimation probes).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        leaf_size: int = 64,
+        admissibility: object | None = None,
+        backend: str | BatchedBackend = "vectorized",
+        distance_cache: str = "auto",
+        cache_limit_mb: float = 600.0,
+        seed: SeedLike = 0,
+    ):
+        start = time.perf_counter()
+        self.backend = backend
+        rng = as_generator(seed)
+
+        self.tree: ClusterTree = ClusterTree.build(points, leaf_size=leaf_size)
+        self.partition: BlockPartition = build_block_partition(
+            self.tree, admissibility if admissibility is not None else WeakAdmissibility()
+        )
+        n = self.tree.num_points
+
+        limit_bytes = int(cache_limit_mb * 2**20)
+        if distance_cache == "auto":
+            distance_cache = "dense" if 2 * n * n * 8 <= limit_bytes else "blocks"
+        if distance_cache not in ("dense", "blocks", "none"):
+            raise ValueError(
+                "distance_cache must be 'auto', 'dense', 'blocks' or 'none'"
+            )
+        self.distance_cache = distance_cache
+        self._cache_limit_bytes = limit_bytes
+        self._distances: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._block_cache: Dict[Tuple[int, int, int, int], np.ndarray] = {}
+        if distance_cache == "dense":
+            self._distances = pairwise_distances(self.tree.points, self.tree.points)
+
+        self._omega_bank = _OmegaBank(n, rng)
+        self._norm_seed = int(rng.integers(0, 2**31 - 1))
+        self._warm_samples: Optional[int] = None
+        self._last_norm_estimate: Optional[float] = None
+        self._plan = None
+        self._last_kernel: Optional[KernelFunction] = None
+        self._last_key: Optional[Tuple[float, int]] = None
+        self._last_result: Optional[ConstructionResult] = None
+        self.statistics = ContextStatistics(
+            setup_seconds=time.perf_counter() - start
+        )
+
+    # ----------------------------------------------------------------- binding
+    @property
+    def num_points(self) -> int:
+        return self.tree.num_points
+
+    def bind(self, kernel: KernelFunction) -> Tuple[SketchingOperator, EntryExtractor]:
+        """Operator/extractor pair evaluating ``kernel`` over the cached geometry.
+
+        With the dense distance cache the kernel values are materialised once
+        per parameter point (one vectorised profile evaluation over the cached
+        distances), so every subsequent black-box application is a plain GEMM;
+        otherwise kernel rows are generated on the fly with per-block distance
+        caching.
+        """
+        if self._distances is not None:
+            if isinstance(kernel, PairwiseKernel):
+                values = kernel.profile_with_diagonal(self._distances)
+            else:
+                values = kernel.evaluate(self.tree.points, self.tree.points)
+            # profile/evaluate already allocated a fresh contiguous array;
+            # adopt it instead of copying into a persistent buffer.
+            self._values = np.ascontiguousarray(
+                np.asarray(values, dtype=np.float64)
+            )
+            return DenseOperator(self._values), DenseEntryExtractor(self._values)
+        operator = KernelMatVecOperator(kernel, self.tree.points)
+        if self.distance_cache == "blocks" and isinstance(kernel, PairwiseKernel):
+            extractor: EntryExtractor = BlockDistanceCachingExtractor(
+                kernel, self.tree.points, self._block_cache, self._cache_limit_bytes
+            )
+        else:
+            extractor = KernelEntryExtractor(kernel, self.tree.points)
+        return operator, extractor
+
+    # ------------------------------------------------------------ construction
+    def construct(
+        self,
+        kernel: KernelFunction,
+        tolerance: float = 1e-6,
+        sample_block_size: int = 64,
+        config: ConstructionConfig | None = None,
+        warm_start: bool = True,
+        reuse_norm_estimate: bool = False,
+        reuse_plan: bool = True,
+    ) -> ConstructionResult:
+        """Construct the H2 representation of ``K(kernel)`` over the cached geometry.
+
+        Parameters beyond the kernel mirror
+        :class:`~repro.core.config.ConstructionConfig` (or pass ``config``
+        directly).  ``warm_start`` seeds the initial sketch with the largest
+        sample count any previous construction of this context needed, so the
+        adaptive loop typically converges in its first round;
+        ``reuse_norm_estimate`` recycles the previous construction's norm
+        estimate (skipping the power-method probes — useful when the operator
+        has no cached dense values); ``reuse_plan`` re-stacks the previous
+        compiled apply plan in place when the new matrix reproduces the same
+        structure.
+
+        Repeating the *identical* ``(kernel, tolerance, sample_block_size)``
+        point (the inner loop of a noise/nugget sweep, where the compressed
+        ``K`` does not change at all) returns the previously constructed
+        result without re-running the constructor.
+        """
+        cacheable = config is None
+        if (
+            cacheable
+            and self._last_result is not None
+            and self._last_key == (float(tolerance), int(sample_block_size))
+            and type(kernel) is type(self._last_kernel)
+            and kernel == self._last_kernel
+        ):
+            self.statistics.result_cache_hits += 1
+            return self._last_result
+        if config is None:
+            config = ConstructionConfig(
+                tolerance=tolerance,
+                sample_block_size=sample_block_size,
+                backend=self.backend,
+            )
+        if warm_start and self._warm_samples is not None:
+            initial = max(config.effective_initial_samples, self._warm_samples)
+            config = replace(config, initial_samples=min(initial, self.num_points))
+        if reuse_norm_estimate and (
+            config.norm_estimate is None and self._last_norm_estimate
+        ):
+            config = replace(config, norm_estimate=self._last_norm_estimate)
+
+        operator, extractor = self.bind(kernel)
+        constructor = H2Constructor(
+            self.partition,
+            operator,
+            extractor,
+            config=config,
+            seed=self._norm_seed,
+            sample_source=self._omega_bank.sampler(),
+        )
+        result = constructor.construct()
+
+        self._warm_samples = max(self._warm_samples or 0, result.total_samples)
+        if result.norm_estimate:
+            self._last_norm_estimate = float(result.norm_estimate)
+        self.statistics.constructions += 1
+        self.statistics.sample_columns_cached = self._omega_bank.num_columns
+
+        matrix = result.matrix
+        matrix.apply_backend = get_backend(self.backend)
+        if reuse_plan and self._plan is not None and self._plan.matches(matrix):
+            matrix.reuse_plan(self._plan)
+            self.statistics.plan_reuses += 1
+        else:
+            self._plan = matrix.apply_plan()
+            self.statistics.plan_compilations += 1
+        if cacheable:
+            # Snapshot the kernel: a caller mutating a (mutable dataclass)
+            # kernel in place must miss the cache, not hit its own reference.
+            self._last_kernel = copy.deepcopy(kernel)
+            self._last_key = (float(tolerance), int(sample_block_size))
+            self._last_result = result
+        return result
+
+    # ------------------------------------------------------------- diagnostics
+    def memory_bytes(self) -> int:
+        """Bytes held by the cached distances/values/sample bank."""
+        total = self._omega_bank._data.nbytes
+        if self._distances is not None:
+            total += self._distances.nbytes
+        if self._values is not None:
+            total += self._values.nbytes
+        total += sum(block.nbytes for block in self._block_cache.values())
+        return int(total)
+
+    def describe(self) -> str:
+        stats = self.statistics
+        return (
+            f"GeometryContext(n={self.num_points}, depth={self.tree.depth}, "
+            f"cache={self.distance_cache}, constructions={stats.constructions}, "
+            f"plan_reuses={stats.plan_reuses}, "
+            f"memory_mb={self.memory_bytes() / 2**20:.1f})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return self.describe()

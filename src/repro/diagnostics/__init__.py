@@ -3,6 +3,7 @@ benchmark harness."""
 
 from .apply_report import ApplyReport, apply_report
 from .error import construction_error, dense_relative_error
+from .gp_report import GPFitReport, gp_sweep_table
 from .memory import MemoryReport, memory_report
 from .profiling import PhaseBreakdown, phase_breakdown
 from .reporting import format_table, format_series
@@ -11,6 +12,8 @@ from .solver_report import convergence_table, residual_series
 __all__ = [
     "ApplyReport",
     "apply_report",
+    "GPFitReport",
+    "gp_sweep_table",
     "construction_error",
     "dense_relative_error",
     "MemoryReport",

@@ -6,7 +6,7 @@ from .h2matrix import H2Matrix
 from .hmatrix import HMatrix
 from .hodlr import HODLRMatrix, build_hodlr, hodlr_from_h2
 from .hss import build_hss
-from .linear_operator import LinearOperator, as_linear_operator
+from .linear_operator import LinearOperator, ShiftedLinearOperator, as_linear_operator
 
 __all__ = [
     "BasisTree",
@@ -18,5 +18,6 @@ __all__ = [
     "build_hss",
     "aca_low_rank",
     "LinearOperator",
+    "ShiftedLinearOperator",
     "as_linear_operator",
 ]

@@ -96,6 +96,20 @@ class H2Matrix:
             self._plan = compile_apply_plan(self)
         return self._plan
 
+    def reuse_plan(self, plan: "H2ApplyPlan") -> "H2ApplyPlan":
+        """Adopt a structurally matching compiled plan, re-stacking its operands.
+
+        The hyperparameter-sweep fast path (see
+        :meth:`~repro.batched.apply_plan.H2ApplyPlan.refresh`): when this
+        matrix was re-constructed over the same geometry with the same
+        per-node ranks and block sets as ``plan``'s original matrix, the plan
+        skeleton (positions, paddings, stage grouping) is reused and only the
+        coefficients are refilled in place.  Raises :class:`ValueError` on a
+        structural mismatch — fall back to :meth:`apply_plan` then.
+        """
+        self._plan = plan.refresh(self)
+        return self._plan
+
     def _resolve_backend(
         self, backend: "BatchedBackend | str | None"
     ) -> "BatchedBackend":

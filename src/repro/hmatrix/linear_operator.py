@@ -87,7 +87,33 @@ class LinearOperator:
         return self.matvec(x)
 
 
-def as_linear_operator(a: object, n: int | None = None) -> LinearOperator:
+class ShiftedLinearOperator(LinearOperator):
+    """``A + shift I`` as a matrix-free operator.
+
+    The solver-side view of a nugget/regularization term: the base operator
+    keeps iterating on its fast apply path (for an
+    :class:`~repro.hmatrix.h2matrix.H2Matrix`, the compiled batched plan) and
+    the shift is added as an axpy on the way out.  ``source`` forwards to the
+    base operator's source so backend/launch diagnostics keep working.
+    """
+
+    def __init__(self, base: object, shift: float, n: int | None = None):
+        base_op = as_linear_operator(base, n=n)
+        self.base = base_op
+        self.shift = float(shift)
+        super().__init__(
+            base_op.shape,
+            lambda x: base_op.matvec(x) + self.shift * x,
+            rmatvec=lambda x: base_op.rmatvec(x) + self.shift * x,
+            matmat=lambda x: base_op.matmat(x) + self.shift * x,
+            rmatmat=lambda x: base_op.rmatmat(x) + self.shift * x,
+            source=base_op.source,
+        )
+
+
+def as_linear_operator(
+    a: object, n: int | None = None, shift: float = 0.0
+) -> LinearOperator:
     """Adapt ``a`` to a :class:`LinearOperator`.
 
     Accepted inputs, in the order they are recognised:
@@ -102,10 +128,17 @@ def as_linear_operator(a: object, n: int | None = None) -> LinearOperator:
     * a dense :class:`numpy.ndarray` or a SciPy sparse matrix;
     * a bare callable ``x -> A @ x`` together with the dimension ``n``.
 
+    A nonzero ``shift`` wraps the adapted operator as
+    :class:`ShiftedLinearOperator`, i.e. the result applies ``A + shift I`` —
+    the usual route to solving shifted (nugget-regularized) kernel systems
+    without touching the stored matrix.
+
     Hierarchical formats act in the *original* point ordering (their
     ``matvec`` default), so systems and right-hand sides never need manual
     permutation.
     """
+    if shift:
+        return ShiftedLinearOperator(a, shift, n=n)
     if isinstance(a, LinearOperator):
         return a
     matvec = getattr(a, "matvec", None)

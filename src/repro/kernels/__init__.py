@@ -1,6 +1,7 @@
 """Kernel functions defining the dense matrices to be compressed."""
 
-from .base import KernelFunction, PairwiseKernel
+from .base import KernelFunction, PairwiseKernel, pairwise_distances
+from .composite import ScaledKernel, SumKernel, WhiteNoiseKernel
 from .covariance import (
     ExponentialKernel,
     GaussianKernel,
@@ -12,10 +13,14 @@ from .helmholtz import HelmholtzKernel, LaplaceKernel
 __all__ = [
     "KernelFunction",
     "PairwiseKernel",
+    "pairwise_distances",
     "ExponentialKernel",
     "GaussianKernel",
     "Matern32Kernel",
     "Matern52Kernel",
     "HelmholtzKernel",
     "LaplaceKernel",
+    "ScaledKernel",
+    "SumKernel",
+    "WhiteNoiseKernel",
 ]

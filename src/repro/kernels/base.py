@@ -9,7 +9,10 @@ sub-block assembly (the paper's ``batchedGen`` input) is handled by
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from abc import ABC, abstractmethod
+from typing import Dict
 
 import numpy as np
 
@@ -41,6 +44,37 @@ class KernelFunction(ABC):
     def matrix(self, points: np.ndarray) -> np.ndarray:
         """The full dense kernel matrix over ``points`` (test/small problems only)."""
         return self.evaluate(points, points)
+
+    # --------------------------------------------------------- hyperparameters
+    def rebind(self, **params: float) -> "KernelFunction":
+        """A copy of this kernel with the given hyperparameters replaced.
+
+        The canonical move of a hyperparameter sweep: the kernel *family* stays
+        fixed while its parameters change, so everything geometric (cluster
+        tree, block partition, sample pattern) can be reused across the sweep.
+        Dataclass kernels re-run their ``__post_init__`` validation; unknown
+        parameter names raise :class:`TypeError`.
+        """
+        if dataclasses.is_dataclass(self):
+            return dataclasses.replace(self, **params)
+        clone = copy.copy(self)
+        for name, value in params.items():
+            if not hasattr(clone, name):
+                raise TypeError(
+                    f"{type(self).__name__} has no hyperparameter {name!r}"
+                )
+            setattr(clone, name, value)
+        return clone
+
+    def hyperparameters(self) -> Dict[str, float]:
+        """Scalar hyperparameters of this kernel (dataclass fields by default)."""
+        if dataclasses.is_dataclass(self):
+            return {
+                f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)
+                if isinstance(getattr(self, f.name), (int, float))
+            }
+        return {}
 
 
 def pairwise_distances(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -85,7 +119,40 @@ class PairwiseKernel(KernelFunction):
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         r = pairwise_distances(x, y)
+        return self.profile_with_diagonal(r)
+
+    def profile_with_diagonal(self, r: np.ndarray) -> np.ndarray:
+        """Evaluate the profile on a distance array, honouring :attr:`diagonal_value`.
+
+        The entry point for distance-reusing evaluation paths (the
+        :class:`~repro.core.context.GeometryContext` caches the distance matrix
+        across a hyperparameter sweep and re-evaluates only this function).
+        """
         values = self.profile(r)
         if self.diagonal_value is not None:
             values = np.where(r == 0.0, self.diagonal_value, values)
         return values
+
+    def value_at_zero(self) -> float:
+        """The self-interaction value ``K(x, x)`` (prior variance of GP kernels)."""
+        if self.diagonal_value is not None:
+            return float(self.diagonal_value)
+        return float(np.asarray(self.profile(np.zeros(1)))[0])
+
+    # ------------------------------------------------------------- composition
+    def __add__(self, other: "PairwiseKernel") -> "PairwiseKernel":
+        from .composite import SumKernel
+
+        if not isinstance(other, PairwiseKernel):
+            return NotImplemented
+        return SumKernel((self, other))
+
+    def __mul__(self, scale: float) -> "PairwiseKernel":
+        from .composite import ScaledKernel
+
+        if not isinstance(scale, (int, float)):
+            return NotImplemented
+        return ScaledKernel(self, float(scale))
+
+    def __rmul__(self, scale: float) -> "PairwiseKernel":
+        return self.__mul__(scale)

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..utils.validation import check_positive
 from .base import PairwiseKernel
 
 
@@ -50,19 +49,3 @@ class LaplaceKernel(PairwiseKernel):
         with np.errstate(divide="ignore", invalid="ignore"):
             values = 1.0 / r
         return np.where(r == 0.0, self.diagonal_value, values)
-
-
-@dataclass
-class ScaledKernel(PairwiseKernel):
-    """A kernel multiplied by a constant scale factor (utility for tests)."""
-
-    base: PairwiseKernel = None  # type: ignore[assignment]
-    scale: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.base is None:
-            raise ValueError("base kernel must be provided")
-        check_positive(abs(self.scale), "scale")
-
-    def profile(self, r: np.ndarray) -> np.ndarray:
-        return self.scale * self.base.profile(r)

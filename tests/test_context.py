@@ -1,0 +1,361 @@
+"""Tests of the geometry-reuse construction context (repro.core.context)
+and the apply-plan coefficient refresh it drives.
+
+The context must be a pure optimization: constructions through it have to
+match the accuracy of from-scratch constructions at every cache policy, while
+actually re-using the cached pieces (frozen sample pattern, warm-started
+sample counts, result cache, plan skeleton).  The slow acceptance test pins
+the headline claim — a 3-point length-scale sweep at N = 4096 at least 2x
+faster than three from-scratch constructions.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterTree,
+    ConstructionConfig,
+    ExponentialKernel,
+    GaussianKernel,
+    GeneralAdmissibility,
+    GeometryContext,
+    H2Constructor,
+    Matern52Kernel,
+    WeakAdmissibility,
+    build_block_partition,
+    uniform_cube_points,
+)
+from repro.core.context import BlockDistanceCachingExtractor
+from repro.sketching import KernelEntryExtractor, KernelMatVecOperator
+
+N = 700
+TOL = 1e-7
+
+
+def rel_err(approx, exact):
+    return float(np.linalg.norm(approx - exact) / np.linalg.norm(exact))
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform_cube_points(N, dim=2, seed=19)
+
+
+@pytest.fixture(scope="module")
+def context(points):
+    return GeometryContext(points, leaf_size=32, seed=5)
+
+
+class TestConstructionEquivalence:
+    @pytest.mark.parametrize("length_scale", [0.15, 0.3])
+    def test_matches_dense_reference(self, context, points, length_scale):
+        kernel = ExponentialKernel(length_scale)
+        result = context.construct(kernel, tolerance=TOL)
+        dense = kernel.matrix(context.tree.points)
+        x = np.random.default_rng(0).standard_normal(N)
+        err = rel_err(result.matrix.matvec(x, permuted=True), dense @ x)
+        assert err < 50 * TOL
+
+    def test_matches_from_scratch_accuracy(self, points):
+        """Context constructions are as accurate as cold ones at the same tol."""
+        kernel = Matern52Kernel(0.25)
+        ctx = GeometryContext(points, leaf_size=32, seed=5)
+        warm = ctx.construct(kernel, tolerance=TOL)
+
+        tree = ClusterTree.build(points, leaf_size=32)
+        partition = build_block_partition(tree, WeakAdmissibility())
+        cold = H2Constructor(
+            partition,
+            KernelMatVecOperator(kernel, tree.points),
+            KernelEntryExtractor(kernel, tree.points),
+            ConstructionConfig(tolerance=TOL),
+            seed=5,
+        ).construct()
+
+        dense = kernel.matrix(tree.points)
+        x = np.random.default_rng(1).standard_normal(N)
+        err_warm = rel_err(warm.matrix.matvec(x, permuted=True), dense @ x)
+        err_cold = rel_err(cold.matrix.matvec(x, permuted=True), dense @ x)
+        assert err_warm < max(10 * err_cold, 50 * TOL)
+
+    @pytest.mark.parametrize("cache", ["dense", "blocks", "none"])
+    def test_cache_policies_agree(self, points, cache):
+        kernel = ExponentialKernel(0.2)
+        ctx = GeometryContext(points, leaf_size=32, distance_cache=cache, seed=5)
+        result = ctx.construct(kernel, tolerance=TOL)
+        dense = kernel.matrix(ctx.tree.points)
+        x = np.random.default_rng(2).standard_normal(N)
+        assert rel_err(result.matrix.matvec(x, permuted=True), dense @ x) < 50 * TOL
+
+    def test_general_admissibility_context(self, points):
+        kernel = ExponentialKernel(0.2)
+        ctx = GeometryContext(
+            points, leaf_size=32, admissibility=GeneralAdmissibility(eta=0.7), seed=5
+        )
+        result = ctx.construct(kernel, tolerance=TOL)
+        assert len(result.matrix.dense) > len(list(ctx.tree.leaves()))
+        dense = kernel.matrix(ctx.tree.points)
+        x = np.random.default_rng(3).standard_normal(N)
+        assert rel_err(result.matrix.matvec(x, permuted=True), dense @ x) < 50 * TOL
+
+    def test_rejects_bad_cache_mode(self, points):
+        with pytest.raises(ValueError):
+            GeometryContext(points, distance_cache="everything")
+
+
+class TestReuse:
+    def test_frozen_sample_pattern(self, points):
+        """Same seed => identical constructions (the sample pattern is cached)."""
+        kernel = ExponentialKernel(0.2)
+        a = GeometryContext(points, leaf_size=32, seed=9).construct(kernel, tolerance=TOL)
+        b = GeometryContext(points, leaf_size=32, seed=9).construct(kernel, tolerance=TOL)
+        x = np.random.default_rng(4).standard_normal(N)
+        assert np.array_equal(
+            a.matrix.matvec(x, permuted=True), b.matrix.matvec(x, permuted=True)
+        )
+
+    def test_result_cache_hit_on_identical_point(self, points):
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        first = ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        second = ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        assert second is first
+        assert ctx.statistics.result_cache_hits == 1
+        # A different hyperparameter must re-construct.
+        third = ctx.construct(ExponentialKernel(0.35), tolerance=TOL)
+        assert third is not first
+        assert ctx.statistics.constructions == 2
+
+    def test_result_cache_misses_on_in_place_kernel_mutation(self, points):
+        """Mutating a kernel in place must not produce a stale cache hit."""
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        kernel = ExponentialKernel(0.2)
+        first = ctx.construct(kernel, tolerance=TOL)
+        kernel.length_scale = 0.4  # dataclasses are mutable
+        second = ctx.construct(kernel, tolerance=TOL)
+        assert second is not first
+        assert ctx.statistics.result_cache_hits == 0
+        dense = ExponentialKernel(0.4).matrix(ctx.tree.points)
+        x = np.random.default_rng(7).standard_normal(N)
+        assert rel_err(second.matrix.matvec(x, permuted=True), dense @ x) < 50 * TOL
+
+    def test_plan_reuse_does_not_corrupt_earlier_results(self, points):
+        """Refreshing the shared plan must detach, not poison, earlier matrices.
+
+        A noise-style sweep revisiting the same structure re-stacks the shared
+        plan skeleton with new coefficients; matrices returned earlier in the
+        sweep have to keep computing *their own* kernel's products.
+        """
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        x = np.random.default_rng(8).standard_normal(N)
+        # Warm-started runs replay an identical sample schedule, so from the
+        # second construction onward the structure repeats; bypass the result
+        # cache to force actual re-constructions.
+        ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        ctx._last_result = None
+        first = ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        before = first.matrix.matvec(x, permuted=True)
+        ctx._last_result = None
+        second = ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        assert ctx.statistics.plan_reuses >= 1
+        after = first.matrix.matvec(x, permuted=True)
+        assert np.array_equal(before, after)
+        dense = ExponentialKernel(0.2).matrix(ctx.tree.points)
+        assert rel_err(after, dense @ x) < 50 * TOL
+        assert rel_err(second.matrix.matvec(x, permuted=True), dense @ x) < 50 * TOL
+
+    def test_warm_start_reduces_operator_applications(self, points):
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        first = ctx.construct(ExponentialKernel(0.15), tolerance=TOL)
+        # Nearby hyperparameter: the warm-started sketch should need at most
+        # as many black-box applications as the cold adaptive run.
+        second = ctx.construct(ExponentialKernel(0.18), tolerance=TOL)
+        assert second.operator_applications <= first.operator_applications
+        assert second.total_samples >= 1
+
+    def test_norm_estimate_reuse_skips_probes(self, points):
+        ctx = GeometryContext(points, leaf_size=32, distance_cache="none", seed=9)
+        first = ctx.construct(GaussianKernel(0.2), tolerance=TOL)
+        op_apps_cold = first.operator_applications
+        second = ctx.construct(
+            GaussianKernel(0.22), tolerance=TOL, reuse_norm_estimate=True
+        )
+        assert second.norm_estimate == pytest.approx(first.norm_estimate)
+        assert second.operator_applications < op_apps_cold
+
+    def test_statistics_and_describe(self, points):
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        stats = ctx.statistics.as_dict()
+        assert stats["constructions"] == 1
+        assert stats["plan_compilations"] == 1
+        assert stats["sample_columns_cached"] > 0
+        assert ctx.memory_bytes() > 0
+        assert "GeometryContext" in ctx.describe()
+        assert "cache=dense" in ctx.describe()
+
+
+class TestPlanRefresh:
+    @pytest.fixture(scope="class")
+    def refresh_pair(self, points):
+        """Two constructions with identical structure but different coefficients."""
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        first = ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        plan = first.matrix.apply_plan()
+        # Re-scale every block of a copy of the matrix: same structure,
+        # different coefficients.
+        import copy
+
+        scaled = copy.deepcopy(first.matrix)
+        for key in scaled.coupling:
+            scaled.coupling[key] = 2.0 * scaled.coupling[key]
+        for key in scaled.dense:
+            scaled.dense[key] = 2.0 * scaled.dense[key]
+        object.__setattr__(scaled, "_plan", None)
+        return first.matrix, scaled, plan
+
+    def test_refresh_reproduces_recompiled_apply(self, refresh_pair):
+        original, scaled, plan = refresh_pair
+        x = np.random.default_rng(5).standard_normal((N, 3))
+        expected = scaled.apply_plan(rebuild=True).execute(x)
+        refreshed = scaled.reuse_plan(plan)
+        assert np.allclose(refreshed.execute(x), expected, atol=1e-12)
+
+    def test_refresh_covers_transpose_stages(self, refresh_pair):
+        original, scaled, plan = refresh_pair
+        x = np.random.default_rng(6).standard_normal(N)
+        expected = scaled.matvec_loop(x)  # symmetric data: loop as reference
+        scaled.reuse_plan(plan)
+        assert np.allclose(scaled.rmatvec(x), expected, atol=1e-10)
+
+    def test_matches_reports_structure(self, refresh_pair, points):
+        original, scaled, plan = refresh_pair
+        assert plan.matches(scaled)
+        other = GeometryContext(points, leaf_size=64, seed=1).construct(
+            ExponentialKernel(0.2), tolerance=TOL
+        )
+        assert not plan.matches(other.matrix)
+        with pytest.raises(ValueError):
+            plan.refresh(other.matrix)
+
+
+class TestBlockDistanceCachingExtractor:
+    def test_contiguous_blocks_cached_and_exact(self, points):
+        tree = ClusterTree.build(points, leaf_size=32)
+        kernel = ExponentialKernel(0.2)
+        cache = {}
+        extractor = BlockDistanceCachingExtractor(
+            kernel, tree.points, cache, cache_limit_bytes=1 << 24
+        )
+        reference = KernelEntryExtractor(kernel, tree.points)
+        rows = tree.index_set(tree.num_nodes - 1)
+        cols = tree.index_set(tree.num_nodes - 2)
+        first = extractor.extract(rows, cols)
+        assert len(cache) == 1
+        assert np.array_equal(first, reference.extract(rows, cols))
+        # Second call hits the cache and re-evaluates only the profile.
+        again = extractor.extract(rows, cols)
+        assert np.array_equal(again, first)
+        assert len(cache) == 1
+
+    def test_permuted_and_gapped_sets_bypass_cache(self, points):
+        """Span == size is not contiguity: skeleton pivot orders are unsorted.
+
+        A permuted set keyed as a range would poison the cache for the true
+        contiguous request (and vice versa) with silently reordered blocks.
+        """
+        tree = ClusterTree.build(points, leaf_size=32)
+        kernel = ExponentialKernel(0.2)
+        cache = {}
+        extractor = BlockDistanceCachingExtractor(
+            kernel, tree.points, cache, cache_limit_bytes=1 << 24
+        )
+        reference = KernelEntryExtractor(kernel, tree.points)
+        permuted = np.array([10, 12, 11, 13])
+        cols = np.array([0, 1, 2])
+        gapped = np.array([20, 21, 23, 24])  # span 5, size 4
+        for rows in (permuted, gapped):
+            values = extractor.extract(rows, cols)
+            assert not cache
+            assert np.array_equal(values, reference.extract(rows, cols))
+        # The genuine range afterwards is keyed and still exact.
+        sorted_rows = np.arange(10, 14)
+        values = extractor.extract(sorted_rows, cols)
+        assert len(cache) == 1
+        assert np.array_equal(values, reference.extract(sorted_rows, cols))
+        again = extractor.extract(permuted, cols)
+        assert np.array_equal(again, reference.extract(permuted, cols))
+
+    def test_non_contiguous_requests_bypass_cache(self, points):
+        tree = ClusterTree.build(points, leaf_size=32)
+        kernel = ExponentialKernel(0.2)
+        cache = {}
+        extractor = BlockDistanceCachingExtractor(
+            kernel, tree.points, cache, cache_limit_bytes=1 << 24
+        )
+        rows = np.array([1, 5, 9])
+        cols = np.array([0, 2])
+        values = extractor.extract(rows, cols)
+        assert not cache
+        assert np.allclose(
+            values, kernel.evaluate(tree.points[rows], tree.points[cols])
+        )
+
+    def test_cache_respects_byte_budget(self, points):
+        tree = ClusterTree.build(points, leaf_size=32)
+        kernel = ExponentialKernel(0.2)
+        cache = {}
+        extractor = BlockDistanceCachingExtractor(
+            kernel, tree.points, cache, cache_limit_bytes=0
+        )
+        leaf = tree.num_nodes - 1
+        extractor.extract(tree.index_set(leaf), tree.index_set(leaf))
+        assert not cache
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_sweep_speedup_at_4096(self):
+        """Acceptance: 3-point length-scale sweep >= 2x over cold constructions."""
+        n = 4096
+        scales = [0.15, 0.2, 0.3]
+        tolerance = 1e-6
+        pts = uniform_cube_points(n, dim=3, seed=1)
+
+        t0 = time.perf_counter()
+        for ls in scales:
+            tree = ClusterTree.build(pts, leaf_size=64)
+            partition = build_block_partition(tree, WeakAdmissibility())
+            kernel = ExponentialKernel(ls)
+            H2Constructor(
+                partition,
+                KernelMatVecOperator(kernel, tree.points),
+                KernelEntryExtractor(kernel, tree.points),
+                ConstructionConfig(tolerance=tolerance),
+                seed=3,
+            ).construct()
+        cold_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ctx = GeometryContext(pts, leaf_size=64, seed=3)
+        results = [
+            ctx.construct(ExponentialKernel(ls), tolerance=tolerance)
+            for ls in scales
+        ]
+        sweep_seconds = time.perf_counter() - t0
+
+        # Accuracy parity on the last sweep point.
+        kernel = ExponentialKernel(scales[-1])
+        x = np.random.default_rng(0).standard_normal(n)
+        reference = KernelMatVecOperator(kernel, ctx.tree.points).matvec(x)
+        err = rel_err(results[-1].matrix.matvec(x, permuted=True), reference)
+        assert err < 1e-4
+
+        speedup = cold_seconds / sweep_seconds
+        floor = float(os.environ.get("REPRO_GP_SWEEP_SPEEDUP_MIN", "2.0"))
+        assert speedup >= floor, (
+            f"geometry-reuse sweep speedup {speedup:.2f}x below the {floor}x floor "
+            f"(cold {cold_seconds:.1f}s, sweep {sweep_seconds:.1f}s)"
+        )

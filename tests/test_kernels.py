@@ -14,7 +14,7 @@ from repro import (
     uniform_cube_points,
 )
 from repro.kernels.base import pairwise_distances
-from repro.kernels.helmholtz import ScaledKernel
+from repro import ScaledKernel, SumKernel, WhiteNoiseKernel
 
 ALL_KERNELS = [
     ExponentialKernel(0.2),
@@ -88,7 +88,7 @@ class TestKernelValues:
 
     def test_scaled_kernel(self):
         base = ExponentialKernel(0.2)
-        scaled = ScaledKernel(base=base, scale=3.0)
+        scaled = ScaledKernel(base, 3.0)
         r = np.linspace(0, 1, 10)
         assert np.allclose(scaled.profile(r), 3.0 * base.profile(r))
 
@@ -99,8 +99,8 @@ class TestKernelValues:
             GaussianKernel(-1.0)
         with pytest.raises(ValueError):
             HelmholtzKernel(wavenumber=-1.0)
-        with pytest.raises(ValueError):
-            ScaledKernel(base=None)
+        with pytest.raises(TypeError):
+            ScaledKernel(None)
 
 
 class TestKernelMatrices:
@@ -136,3 +136,132 @@ class TestKernelMatrices:
         a = uniform_cube_points(30, seed=7)
         b = uniform_cube_points(45, seed=8)
         assert k.evaluate(a, b).shape == (30, 45)
+
+
+class TestRebinding:
+    """Kernel-parameter rebinding — the sweep primitive of repro.gp."""
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [ExponentialKernel(0.2), GaussianKernel(0.3), Matern32Kernel(0.25)],
+        ids=lambda k: type(k).__name__,
+    )
+    def test_rebind_length_scale(self, kernel):
+        rebound = kernel.rebind(length_scale=0.5)
+        assert type(rebound) is type(kernel)
+        assert rebound.length_scale == 0.5
+        assert kernel.length_scale != 0.5  # original untouched
+
+    def test_rebind_validates(self):
+        with pytest.raises(ValueError):
+            ExponentialKernel(0.2).rebind(length_scale=-1.0)
+
+    def test_rebind_rejects_unknown_parameter(self):
+        with pytest.raises(TypeError):
+            ExponentialKernel(0.2).rebind(bandwidth=1.0)
+
+    def test_hyperparameters_lists_scalar_fields(self):
+        assert ExponentialKernel(0.2).hyperparameters() == {"length_scale": 0.2}
+        assert HelmholtzKernel(3.0, diagonal_value=1.0).hyperparameters() == {
+            "wavenumber": 3.0,
+            "diagonal_value": 1.0,
+        }
+
+
+class TestComposition:
+    """Noise/nugget composition: scaled, sum and white-noise kernels."""
+
+    def test_operator_sugar(self):
+        composed = 0.5 * ExponentialKernel(0.2) + WhiteNoiseKernel(1e-2)
+        assert isinstance(composed, SumKernel)
+        pts = uniform_cube_points(40, seed=9)
+        expected = 0.5 * ExponentialKernel(0.2).matrix(pts) + 1e-2 * np.eye(40)
+        assert np.allclose(composed.matrix(pts), expected, atol=1e-14)
+
+    def test_white_noise_only_touches_diagonal(self):
+        pts = uniform_cube_points(30, seed=10)
+        mat = WhiteNoiseKernel(0.7).matrix(pts)
+        assert np.allclose(mat, 0.7 * np.eye(30))
+
+    def test_scaled_kernel_rebind_routes_parameters(self):
+        scaled = ScaledKernel(ExponentialKernel(0.2), 2.0)
+        rebound = scaled.rebind(length_scale=0.4, variance=3.0)
+        assert rebound.variance == 3.0
+        assert rebound.kernel.length_scale == 0.4
+        assert scaled.hyperparameters() == {"length_scale": 0.2, "variance": 2.0}
+
+    def test_sum_kernel_rebind_routes_parameters(self):
+        composed = ExponentialKernel(0.2) + WhiteNoiseKernel(1e-2)
+        rebound = composed.rebind(length_scale=0.3, variance=1e-1)
+        values = rebound.hyperparameters()
+        assert values["length_scale"] == 0.3
+        assert values["variance"] == 1e-1
+        with pytest.raises(TypeError):
+            composed.rebind(wavenumber=1.0)
+
+    def test_colliding_names_are_qualified_not_merged(self):
+        """Two variances in one model must stay distinct parameters.
+
+        The README model 0.5*K + WhiteNoise has a ScaledKernel amplitude and a
+        nugget both called 'variance'; reads and writes must agree on which is
+        which, and the bare ambiguous name must be rejected.
+        """
+        composed = 0.5 * ExponentialKernel(0.2) + WhiteNoiseKernel(1e-2)
+        params = composed.hyperparameters()
+        assert params["variance.0"] == 0.5
+        assert params["variance.1"] == 1e-2
+        assert params["length_scale"] == 0.2
+        assert "variance" not in params
+
+        rebound = composed.rebind(**{"variance.0": 0.9, "variance.1": 0.3})
+        assert rebound.kernels[0].variance == 0.9
+        assert rebound.kernels[1].variance == 0.3
+
+        with pytest.raises(TypeError, match="ambiguous"):
+            composed.rebind(variance=1.0)
+        with pytest.raises(TypeError):
+            composed.rebind(**{"length_scale.1": 0.4})  # wrong component
+
+    def test_hyperparameters_round_trip_through_rebind(self):
+        """rebind(**hyperparameters()) must reproduce the same model."""
+        for kernel in [
+            ExponentialKernel(0.2),
+            ScaledKernel(ExponentialKernel(0.3), 2.0),
+            0.5 * ExponentialKernel(0.2) + WhiteNoiseKernel(1e-2),
+            ScaledKernel(WhiteNoiseKernel(0.4), 3.0),  # nested variance collision
+        ]:
+            params = kernel.hyperparameters()
+            rebound = kernel.rebind(**params)
+            assert rebound.hyperparameters() == params
+            r = np.linspace(0.0, 1.0, 7)
+            assert np.allclose(
+                rebound.profile_with_diagonal(r), kernel.profile_with_diagonal(r)
+            )
+
+    def test_sum_respects_diagonal_values(self):
+        composed = HelmholtzKernel(3.0, diagonal_value=2.0) + WhiteNoiseKernel(0.5)
+        pts = uniform_cube_points(25, seed=11)
+        mat = composed.matrix(pts)
+        assert np.allclose(np.diag(mat), 2.5)
+
+    def test_value_at_zero(self):
+        assert ExponentialKernel(0.2).value_at_zero() == 1.0
+        assert WhiteNoiseKernel(0.3).value_at_zero() == 0.3
+        assert (2.0 * ExponentialKernel(0.2)).value_at_zero() == 2.0
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(ValueError):
+            SumKernel(())
+
+    def test_composite_works_in_construction(self):
+        """A composed kernel runs through the full constructor unchanged."""
+        from repro import GeometryContext
+
+        pts = uniform_cube_points(300, dim=2, seed=12)
+        kernel = 0.8 * Matern32Kernel(0.3)
+        ctx = GeometryContext(pts, leaf_size=32, seed=2)
+        result = ctx.construct(kernel, tolerance=1e-7)
+        dense = kernel.matrix(ctx.tree.points)
+        x = np.random.default_rng(3).standard_normal(300)
+        err = np.linalg.norm(result.matrix.matvec(x, permuted=True) - dense @ x)
+        assert err / np.linalg.norm(dense @ x) < 1e-5

@@ -155,6 +155,31 @@ class TestLinearOperatorAdapter:
         counter = result.extra["apply_launch_counter"]
         assert counter.total_calls() > 0
 
+    def test_shift_kwarg_builds_shifted_operator(self):
+        from repro import ShiftedLinearOperator
+
+        a = np.random.default_rng(11).standard_normal((7, 7))
+        op = as_linear_operator(a, shift=0.25)
+        assert isinstance(op, ShiftedLinearOperator)
+        x = np.random.default_rng(12).standard_normal(7)
+        assert np.allclose(op.matvec(x), a @ x + 0.25 * x)
+        assert np.allclose(op.rmatvec(x), a.T @ x + 0.25 * x)
+        block = np.random.default_rng(13).standard_normal((7, 3))
+        assert np.allclose(op.matmat(block), a @ block + 0.25 * block)
+        # shift=0 stays on the plain adapter path.
+        assert not isinstance(as_linear_operator(a), ShiftedLinearOperator)
+
+    def test_shifted_h2_keeps_apply_diagnostics(self, cov_h2):
+        """The shifted wrapper must not hide the H2 apply backend from solvers."""
+        b = np.random.default_rng(14).standard_normal(cov_h2.num_rows)
+        op = as_linear_operator(cov_h2, shift=0.05)
+        result = cg(op, b, tol=1e-8, maxiter=2000)
+        assert result.converged
+        assert result.extra.get("apply_backend") == "vectorized"
+        # The solution solves the shifted system, not the bare covariance.
+        residual = b - (cov_h2.matvec(result.x) + 0.05 * result.x)
+        assert np.linalg.norm(residual) / np.linalg.norm(b) <= 1e-7
+
 
 class TestKrylov:
     @pytest.mark.parametrize("solver", [cg, gmres, bicgstab])
@@ -326,6 +351,67 @@ class TestHODLRFactorization:
         hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-8)
         fact = HODLRFactorization(hodlr)
         assert fact.memory_bytes() > 0
+
+
+class TestSlogdetRegression:
+    """Pin slogdet()/logdet() against numpy on shifted SPD covariances.
+
+    The Gaussian-process marginal likelihood rides on these values, so they
+    are regression-tested across tree depths (leaf sizes) and shift values,
+    including the ``shift=0`` edge case where the bare covariance is barely
+    positive definite.
+    """
+
+    N = 640
+
+    @pytest.fixture(scope="class")
+    def covariance(self):
+        points = uniform_cube_points(self.N, dim=2, seed=33)
+        return points, ExponentialKernel(length_scale=0.25)
+
+    @pytest.mark.parametrize("leaf_size", [16, 40, 160])
+    @pytest.mark.parametrize("shift", [0.0, 1e-6, 1e-2, 1.0])
+    def test_matches_numpy_across_depths_and_shifts(self, covariance, leaf_size, shift):
+        points, kernel = covariance
+        tree = ClusterTree.build(points, leaf_size=leaf_size)
+        a_perm = kernel.matrix(tree.points)
+        hodlr = build_hodlr(tree, lambda r, c: a_perm[np.ix_(r, c)], tol=1e-12)
+        fact = HODLRFactorization(hodlr, shift=shift)
+
+        shifted = a_perm + shift * np.eye(self.N)
+        sign_ref, logdet_ref = np.linalg.slogdet(shifted)
+        sign, logdet = fact.slogdet()
+        assert sign == pytest.approx(sign_ref)
+        assert logdet == pytest.approx(logdet_ref, rel=1e-8, abs=1e-8)
+        assert fact.logdet() == pytest.approx(logdet_ref, rel=1e-8, abs=1e-8)
+
+    def test_shift_zero_equals_unshifted_factorization(self, covariance):
+        points, kernel = covariance
+        tree = ClusterTree.build(points, leaf_size=32)
+        a_perm = kernel.matrix(tree.points)
+        entries = lambda r, c: a_perm[np.ix_(r, c)]  # noqa: E731
+        plain = HODLRFactorization(build_hodlr(tree, entries, tol=1e-12))
+        explicit = HODLRFactorization(build_hodlr(tree, entries, tol=1e-12), shift=0.0)
+        assert plain.slogdet() == explicit.slogdet()
+
+    def test_slogdet_of_sketched_gp_covariance(self, covariance):
+        """End-to-end: constructor output -> HODLR -> slogdet vs numpy."""
+        points, kernel = covariance
+        tree = ClusterTree.build(points, leaf_size=32)
+        a_perm = kernel.matrix(tree.points)
+        result = build_hss(
+            tree,
+            DenseOperator(a_perm),
+            DenseEntryExtractor(a_perm),
+            tolerance=1e-10,
+            seed=11,
+        )
+        nugget = 5e-2
+        fact = HODLRFactorization(hodlr_from_h2(result.matrix), shift=nugget)
+        sign_ref, logdet_ref = np.linalg.slogdet(a_perm + nugget * np.eye(self.N))
+        sign, logdet = fact.slogdet()
+        assert sign == pytest.approx(sign_ref)
+        assert logdet == pytest.approx(logdet_ref, rel=1e-7)
 
 
 class TestAcceptance:
