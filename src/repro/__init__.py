@@ -51,6 +51,7 @@ Gaussian-process regression with geometry-reuse hyperparameter sweeps
 from .batched import (
     BatchedBackend,
     BlockSparseRowMatrix,
+    ConstructionPlan,
     H2ApplyPlan,
     KernelLaunchCounter,
     SerialBackend,
@@ -197,6 +198,7 @@ __all__ = [
     "KernelLaunchCounter",
     "H2ApplyPlan",
     "compile_apply_plan",
+    "ConstructionPlan",
     # sketching interfaces
     "SketchingOperator",
     "DenseOperator",

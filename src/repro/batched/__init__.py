@@ -30,13 +30,16 @@ from .backend import (
     get_backend,
 )
 from .bsr import BlockSparseRowMatrix
+from .construction_plan import ConstructionPlan, PackedSweepEngine
 from .counters import KernelLaunchCounter
 from .variable_batch import VariableBatch
 
 __all__ = [
     "ApplyStage",
     "BatchedBackend",
+    "ConstructionPlan",
     "H2ApplyPlan",
+    "PackedSweepEngine",
     "SerialBackend",
     "VectorizedBackend",
     "compile_apply_plan",

@@ -65,6 +65,19 @@ import numpy as np
 from .backend import BatchedBackend, get_backend
 from .variable_batch import VariableBatch
 
+
+def fan_bucket(fan: int, fan_pad: int) -> int:
+    """Bucketed row fan-in: exact below ``fan_pad``, multiples of it above.
+
+    Shared by the apply and construction engines so both group block rows
+    under the same policy: small fans (the sweeps' 1-2 blocks per row) stay
+    exact — padding them would multiply the operand bytes — while wide
+    coupling/dense rows collapse into a handful of fan groups.
+    """
+    if fan <= fan_pad:
+        return fan
+    return ((fan + fan_pad - 1) // fan_pad) * fan_pad
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..hmatrix.h2matrix import H2Matrix
 
@@ -176,15 +189,7 @@ class H2ApplyPlan:
         return ((int(rank) + pad - 1) // pad) * pad
 
     def _fan_bucket(self, fan: int) -> int:
-        """Bucketed row fan-in: exact below ``fan_pad``, multiples of it above.
-
-        Small fans (the sweeps' 1-2 blocks per row) stay exact — padding them
-        would multiply the operand bytes — while wide coupling/dense rows
-        collapse into a handful of fan groups.
-        """
-        if fan <= self.fan_pad:
-            return fan
-        return ((fan + self.fan_pad - 1) // self.fan_pad) * self.fan_pad
+        return fan_bucket(fan, self.fan_pad)
 
     @staticmethod
     def _padded(a: np.ndarray, rows: int, cols: int) -> np.ndarray:

@@ -83,14 +83,19 @@ class BatchedBackend(ABC):
 
     @abstractmethod
     def batched_min_r_diag(self, a: Matrices) -> np.ndarray:
-        """Smallest absolute R-diagonal of a QR of every item (convergence test)."""
+        """Smallest absolute R-diagonal of a QR of every item (convergence test).
+
+        ``a`` may be a list of 2-D matrices or a uniform ``(count, m, d)`` 3-D
+        stack (the compiled construction sweep passes its packed per-level
+        sample buffers directly; zero-padded rows do not change the result).
+        """
 
     def batched_gemm_scatter(
         self,
-        dest: VariableBatch,
+        dest: VariableBatch | np.ndarray,
         dest_pos: np.ndarray,
         a: Matrices,
-        src: VariableBatch,
+        src: VariableBatch | np.ndarray,
         src_pos: np.ndarray,
         alpha: float = 1.0,
         operation: str = "batched_scatter_gemm",
@@ -98,16 +103,19 @@ class BatchedBackend(ABC):
         """Gathered block-row GEMMs ``dest[dest_pos[i]] += alpha * a_i @ vstack(src[src_pos[i*c : (i+1)*c]])``.
 
         The per-stage primitive of the compiled H2 apply engine
-        (:mod:`repro.batched.apply_plan`), phrased as the paper's non-uniform
-        BSR row product: each batch item is one *block row* whose static
-        operand ``a_i`` of shape ``(p, c*q)`` concatenates the ``c`` blocks of
-        the row, and whose dynamic operand is the vertical concatenation of
-        ``c`` source blocks gathered from the flat buffer of a
-        :class:`VariableBatch`.  The fan-in ``c`` is implied by
-        ``len(src_pos) == c * len(dest_pos)``.  Because a whole block row is
-        one GEMM, destinations within a call are unique and the scatter is a
-        plain indexed accumulate — callers fuse all blocks sharing a
-        destination into one row.
+        (:mod:`repro.batched.apply_plan`) and of the compiled construction
+        sweep (:mod:`repro.batched.construction_plan`), phrased as the paper's
+        non-uniform BSR row product: each batch item is one *block row* whose
+        static operand ``a_i`` of shape ``(p, c*q)`` concatenates the ``c``
+        blocks of the row, and whose dynamic operand is the vertical
+        concatenation of ``c`` source blocks gathered from the flat buffer of
+        a :class:`VariableBatch` — or from a uniform ``(count, q, k)`` 3-D
+        stack, which is how the construction engine passes (possibly strided)
+        column windows of its preallocated sweep workspace.  The fan-in ``c``
+        is implied by ``len(src_pos) == c * len(dest_pos)``.  Because a whole
+        block row is one GEMM, destinations within a call are unique and the
+        scatter is a plain indexed accumulate — callers fuse all blocks
+        sharing a destination into one row.
 
         This reference implementation executes one GEMM per block row — the
         per-node "CPU" schedule.  :class:`VectorizedBackend` overrides it with
@@ -135,7 +143,9 @@ class BatchedBackend(ABC):
 
         There is no stacked LAPACK pivoted QR, so both backends perform this
         as a loop; on the GPU the paper uses KBLAS' batched column-pivoted QR.
-        The batch still counts as a single launch.
+        The serial batch counts as a single launch; :class:`VectorizedBackend`
+        groups the batch by shape and records one launch per group, mirroring
+        how a batched QR kernel would be dispatched.
         """
         self._record("batched_id", 1)
         results = []
@@ -286,12 +296,25 @@ class VectorizedBackend(BatchedBackend):
                 out[i] = stack[pos]
         return out  # type: ignore[return-value]
 
+    @staticmethod
+    def _as_uniform_stack(buffer: VariableBatch | np.ndarray) -> np.ndarray | None:
+        """``(count, rows, cols)`` view of a uniform batch, or ``None``.
+
+        Accepts either a :class:`VariableBatch` (uniform-shape check) or an
+        already-stacked 3-D array — the latter is how the compiled construction
+        engine passes column windows of its preallocated sweep buffers, which
+        may be strided views.
+        """
+        if isinstance(buffer, np.ndarray):
+            return buffer if buffer.ndim == 3 else None
+        return buffer.uniform_stack()
+
     def batched_gemm_scatter(
         self,
-        dest: VariableBatch,
+        dest: VariableBatch | np.ndarray,
         dest_pos: np.ndarray,
         a: Matrices,
-        src: VariableBatch,
+        src: VariableBatch | np.ndarray,
         src_pos: np.ndarray,
         alpha: float = 1.0,
         operation: str = "batched_scatter_gemm",
@@ -311,8 +334,8 @@ class VectorizedBackend(BatchedBackend):
         if rows == 0:
             self._record(operation, 0)
             return
-        src_stack = src.uniform_stack()
-        dest_stack = dest.uniform_stack()
+        src_stack = self._as_uniform_stack(src)
+        dest_stack = self._as_uniform_stack(dest)
         if (
             src_stack is None
             or dest_stack is None
@@ -333,7 +356,41 @@ class VectorizedBackend(BatchedBackend):
             prod *= alpha
         dest_stack[dest_pos] += prod
 
+    def batched_row_id(
+        self,
+        a: Matrices,
+        rel_tol: float | None = None,
+        abs_tols: Sequence[float] | None = None,
+        max_rank: int | None = None,
+    ) -> List[InterpolativeDecomposition]:
+        """Rank-grouped row IDs: one recorded launch per distinct block shape.
+
+        The decompositions themselves are the same per-matrix pivoted QRs as
+        the serial path (bit-identical skeleton selections); grouping the
+        batch by shape mirrors how a batched column-pivoted QR kernel (KBLAS)
+        would be dispatched and is what the launch counters report.
+        """
+        groups = self._group_by_shape(a)
+        self._record("batched_id", len(groups))
+        results: List[InterpolativeDecomposition | None] = [None] * len(a)
+        for indices in groups.values():
+            for i in indices:
+                abs_tol = None if abs_tols is None else float(abs_tols[i])
+                results[i] = row_id(
+                    a[i], rel_tol=rel_tol, abs_tol=abs_tol, max_rank=max_rank
+                )
+        return results  # type: ignore[return-value]
+
     def batched_min_r_diag(self, a: Matrices) -> np.ndarray:
+        if isinstance(a, np.ndarray) and a.ndim == 3:
+            # Pre-stacked uniform batch: a single stacked QR, no marshaling.
+            self._record("batched_qr", 1)
+            count, rows, cols = a.shape
+            if rows == 0 or cols == 0 or rows < cols:
+                return np.zeros(count, dtype=np.float64)
+            r = np.linalg.qr(a, mode="r")
+            diags = np.abs(np.diagonal(r, axis1=-2, axis2=-1))
+            return diags.min(axis=-1) if diags.size else np.zeros(count)
         out = np.zeros(len(a), dtype=np.float64)
         groups = self._group_by_shape(a)
         self._record("batched_qr", len(groups))

@@ -1,0 +1,627 @@
+"""Compiled batched execution engine for the construction sweep.
+
+PR 2 compiled the H2 *apply* into O(levels) batched launches
+(:mod:`repro.batched.apply_plan`); this module applies the same treatment to
+the *construction* upward sweep of :mod:`repro.core.builder`, which had
+remained a per-node Python loop (per-node ``omega[start:end]`` slices,
+dict-of-ragged-arrays sweep state, per-node ``hstack`` re-copies on every
+adaptive sampling round) and had become the dominant cost of every
+hyperparameter sweep.
+
+Two pieces cooperate:
+
+:class:`ConstructionPlan`
+    The *static* (kernel-independent) packing of one ``(tree, partition)``
+    pair: the leaf gather map turning the global sketch ``(n, d)`` into a
+    zero-padded uniform ``(leaves, m_pad, d)`` stack, the fan-grouped block-row
+    structure of the dense (inadmissible leaf) BSR product, and the per-level
+    fan-grouped block-row structure of the coupling BSR products.  A
+    :class:`~repro.core.context.GeometryContext` compiles this once and reuses
+    it for every construction of a sweep.
+
+:class:`PackedSweepEngine`
+    The per-construction executor.  It owns the :class:`_LevelState` sample
+    buffers — preallocated ``(count + 1, m_pad, capacity)`` stacks (the last
+    block is the sentinel zero block read by fan-in padding) into which
+    adaptive sampling rounds write only the *new* columns instead of
+    re-copying every node's sample block — and the per-level *replay records*
+    (padded interpolation stacks, skeleton gather maps, coupling GEMM
+    operands, child-to-parent merge maps) that push freshly drawn samples up
+    the tree (``updateSamples``) in O(levels) batched launches per round.
+
+All heavy steps execute through the pluggable
+:class:`~repro.batched.backend.BatchedBackend` (``batched_gemm_scatter`` for
+sketch accumulation, ``batched_min_r_diag`` on the packed stacks for the
+convergence test, the rank-grouped ``batched_row_id`` for the IDs), so the
+serial and vectorized backends run the identical schedule.  Zero-padding is
+exact everywhere — padded operand rows/columns are zero, padded sample rows
+stay zero through every launch — so the packed sweep reproduces the reference
+loop's skeleton selections at fixed seed (launch fusion only reorders
+floating-point accumulations at the ~1e-15 level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .apply_plan import fan_bucket
+from .backend import BatchedBackend
+from .counters import KernelLaunchCounter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tree.block_partition import BlockPartition
+    from ..utils.timing import PhaseTimer
+
+
+@dataclass(frozen=True)
+class _RowGroup:
+    """A fan-in group of block rows of one level's BSR product.
+
+    ``dest_pos[i]`` is the destination block of row ``i`` and
+    ``src_pos[i * fan + j]`` the source block of its ``j``-th slot (the
+    sentinel block for padded slots).  ``block_req[i * fan + j]`` indexes the
+    level's block-request list (``-1`` for padding) and drives the stacking of
+    the extracted blocks into the ``(g, p, fan * q)`` GEMM operand.
+    """
+
+    fan: int
+    dest_pos: np.ndarray
+    src_pos: np.ndarray
+    block_req: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.dest_pos.shape[0])
+
+
+def _build_row_groups(
+    rows: Sequence[Tuple[int, List[Tuple[int, int]]]],
+    sentinel: int,
+    fan_pad: int,
+) -> List[_RowGroup]:
+    """Group block rows ``(dest, [(src, request), ...])`` by bucketed fan-in."""
+    by_fan: Dict[int, List[Tuple[int, List[Tuple[int, int]]]]] = {}
+    for dest, blocks in rows:
+        if not blocks:
+            continue
+        by_fan.setdefault(fan_bucket(len(blocks), fan_pad), []).append(
+            (dest, blocks)
+        )
+    groups = []
+    for fan in sorted(by_fan):
+        members = by_fan[fan]
+        g = len(members)
+        dest_pos = np.empty(g, dtype=np.int64)
+        src_pos = np.full(g * fan, sentinel, dtype=np.int64)
+        block_req = np.full(g * fan, -1, dtype=np.int64)
+        for i, (dest, blocks) in enumerate(members):
+            dest_pos[i] = dest
+            for j, (src, req) in enumerate(blocks):
+                src_pos[i * fan + j] = src
+                block_req[i * fan + j] = req
+        groups.append(
+            _RowGroup(fan=fan, dest_pos=dest_pos, src_pos=src_pos, block_req=block_req)
+        )
+    return groups
+
+
+def _stack_operands(
+    groups: Sequence[_RowGroup], padded_blocks: np.ndarray
+) -> List[np.ndarray]:
+    """Assemble each group's ``(g, p, fan * q)`` operand from a padded block stack.
+
+    ``padded_blocks`` is the ``(num_requests, p, q)`` output of
+    :meth:`~repro.sketching.entry_extractor.EntryExtractor.extract_blocks_padded`;
+    every real slot is filled with one vectorised scatter, padded slots stay
+    exactly zero.
+    """
+    p, q = int(padded_blocks.shape[1]), int(padded_blocks.shape[2])
+    operands = []
+    for group in groups:
+        g, fan = group.num_rows, group.fan
+        a = np.zeros((g, p, fan * q), dtype=np.float64)
+        real = group.block_req >= 0
+        if np.any(real):
+            # Scatter straight into the fused row layout: viewing ``a`` as
+            # ``(g, fan, p, q)`` (slot-major) lets one fancy assignment place
+            # every real block without an intermediate copy.
+            slot_view = a.reshape(g, p, fan, q).transpose(0, 2, 1, 3)
+            flat_rows, flat_slots = np.divmod(np.nonzero(real)[0], fan)
+            slot_view[flat_rows, flat_slots] = padded_blocks[group.block_req[real]]
+        operands.append(a)
+    return operands
+
+
+class ConstructionPlan:
+    """Static packing of the construction sweep for one ``(tree, partition)``.
+
+    Everything here depends only on the geometry — node orderings, leaf index
+    ranges, near/far block structure — so a single plan serves every kernel
+    parameter point of a hyperparameter sweep (the dynamic, rank-dependent
+    state lives in :class:`PackedSweepEngine`).
+    """
+
+    def __init__(self, partition: "BlockPartition", fan_pad: int = 4):
+        if fan_pad < 1:
+            raise ValueError("fan_pad must be a positive integer")
+        self.partition = partition
+        self.tree = partition.tree
+        self.fan_pad = int(fan_pad)
+        tree = self.tree
+
+        # ---------------------------------------------------- leaf gather map
+        self.leaf_nodes: List[int] = list(tree.leaves())
+        count = len(self.leaf_nodes)
+        self.leaf_sizes = np.array(
+            [tree.cluster_size(t) for t in self.leaf_nodes], dtype=np.int64
+        )
+        self.m_pad = int(self.leaf_sizes.max()) if count else 0
+        self.leaf_gather = np.zeros((count, self.m_pad), dtype=np.int64)
+        self.leaf_mask = np.zeros((count, self.m_pad), dtype=np.float64)
+        for i, t in enumerate(self.leaf_nodes):
+            size = int(self.leaf_sizes[i])
+            self.leaf_gather[i, :size] = np.arange(
+                tree.starts[t], tree.ends[t], dtype=np.int64
+            )
+            self.leaf_mask[i, :size] = 1.0
+
+        # ----------------------------------------- dense (leaf) BSR structure
+        leaf_pos = {node: i for i, node in enumerate(self.leaf_nodes)}
+        self.dense_pairs: List[Tuple[int, int]] = []
+        dense_rows: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for i, tau in enumerate(self.leaf_nodes):
+            blocks = []
+            for b in partition.near(tau):
+                blocks.append((leaf_pos[b], len(self.dense_pairs)))
+                self.dense_pairs.append((tau, b))
+            dense_rows.append((i, blocks))
+        self.dense_groups = _build_row_groups(
+            dense_rows, sentinel=count, fan_pad=self.fan_pad
+        )
+
+        # ------------------------------------- per-level coupling structure
+        #: ``coupling_pairs[depth]`` lists the level's far pairs in the
+        #: reference loop's order; ``coupling_groups[depth]`` the fan-grouped
+        #: block-row structure over the level's node positions.
+        self.coupling_pairs: Dict[int, List[Tuple[int, int]]] = {}
+        self.coupling_groups: Dict[int, List[_RowGroup]] = {}
+        self.level_nodes: Dict[int, List[int]] = {}
+        for depth in range(tree.depth, -1, -1):
+            nodes = list(tree.nodes_at_level(depth))
+            self.level_nodes[depth] = nodes
+            node_pos = {node: i for i, node in enumerate(nodes)}
+            pairs: List[Tuple[int, int]] = []
+            rows: List[Tuple[int, List[Tuple[int, int]]]] = []
+            for i, tau in enumerate(nodes):
+                blocks = []
+                for b in partition.far(tau):
+                    blocks.append((node_pos[b], len(pairs)))
+                    pairs.append((tau, b))
+                rows.append((i, blocks))
+            self.coupling_pairs[depth] = pairs
+            self.coupling_groups[depth] = _build_row_groups(
+                rows, sentinel=len(nodes), fan_pad=self.fan_pad
+            )
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self.leaf_nodes)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the static gather/grouping arrays."""
+        total = self.leaf_gather.nbytes + self.leaf_mask.nbytes
+        for groups in [self.dense_groups, *self.coupling_groups.values()]:
+            for g in groups:
+                total += g.dest_pos.nbytes + g.src_pos.nbytes + g.block_req.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ConstructionPlan(n={self.tree.num_points}, leaves={self.num_leaves}, "
+            f"dense_blocks={len(self.dense_pairs)}, "
+            f"coupling_blocks={sum(len(p) for p in self.coupling_pairs.values())})"
+        )
+
+
+class _LevelState:
+    """Packed sample-sweep state of one tree level.
+
+    ``y``/``omega`` are ``(count + 1, m_pad, capacity)`` stacks — block ``i``
+    holds node ``i``'s sample block in its first ``heights[i]`` rows and first
+    ``cols`` columns, everything else is exactly zero, and block ``count`` is
+    the sentinel zero block addressed by fan-in padding.  Appending a sampling
+    round's new columns writes into the preallocated capacity (amortised
+    doubling) instead of re-copying every node's block.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        nodes: Sequence[int],
+        heights: np.ndarray,
+        m_pad: int,
+        cols: int,
+        capacity: int,
+    ):
+        self.depth = int(depth)
+        self.nodes = list(nodes)
+        self.count = len(self.nodes)
+        self.heights = np.asarray(heights, dtype=np.int64)
+        self.m_pad = int(m_pad)
+        self.cols = int(cols)
+        capacity = max(int(capacity), self.cols)
+        self.y = np.zeros((self.count + 1, self.m_pad, capacity), dtype=np.float64)
+        self.omega = np.zeros_like(self.y)
+
+    @property
+    def capacity(self) -> int:
+        return int(self.y.shape[2])
+
+    # Active column windows (sentinel included for gemm-scatter addressing).
+    @property
+    def y_view(self) -> np.ndarray:
+        return self.y[:, :, : self.cols]
+
+    @property
+    def omega_view(self) -> np.ndarray:
+        return self.omega[:, :, : self.cols]
+
+    @property
+    def y_active(self) -> np.ndarray:
+        """The real nodes' sample blocks (sentinel excluded), for convergence."""
+        return self.y[: self.count, :, : self.cols]
+
+    def node_block(self, i: int, padded: bool = False) -> np.ndarray:
+        """Node ``i``'s sample block ``Y_loc`` (exact height unless ``padded``)."""
+        rows = self.m_pad if padded else int(self.heights[i])
+        return self.y[i, :rows, : self.cols]
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(2 * self.capacity, needed)
+        for name in ("y", "omega"):
+            old = getattr(self, name)
+            fresh = np.zeros(
+                (self.count + 1, self.m_pad, capacity), dtype=np.float64
+            )
+            fresh[:, :, : self.cols] = old[:, :, : self.cols]
+            setattr(self, name, fresh)
+
+    def append(self, omega_slab: np.ndarray, y_slab: np.ndarray) -> None:
+        """Append one sampling round's columns (``(count + 1, m_pad, b)`` slabs)."""
+        b = int(y_slab.shape[2])
+        if self.cols + b > self.capacity:
+            self._grow(self.cols + b)
+        self.y[:, :, self.cols : self.cols + b] = y_slab
+        self.omega[:, :, self.cols : self.cols + b] = omega_slab
+        self.cols += b
+
+
+@dataclass
+class _ReplayRecord:
+    """Everything needed to replay one skeletonised level on fresh samples."""
+
+    depth: int
+    count: int
+    m_pad: int
+    r_pad: int
+    ranks: np.ndarray
+    #: ``(count, r_pad, m_pad)`` stack of the transposed padded interpolations.
+    interp_t: np.ndarray
+    #: Skeleton-row gather of the level's sample stack: ``(count, r_pad)``
+    #: node/row indices plus the 0/1 mask zeroing padded slots.
+    shrink_node: np.ndarray
+    shrink_row: np.ndarray
+    shrink_mask: np.ndarray
+    #: Child-to-parent merge gather (into the *next* level's packed stack):
+    #: ``(parents, parent_m_pad)`` indices into this level's shrunk stacks
+    #: (the sentinel block for padded slots, which is exactly zero).
+    parent_nodes: List[int] = field(default_factory=list)
+    parent_heights: np.ndarray | None = None
+    parent_m_pad: int = 0
+    merge_node: np.ndarray | None = None
+    merge_row: np.ndarray | None = None
+    #: Fan-grouped coupling-subtract launches ``(operand, dest_pos, src_pos)``,
+    #: attached once the level's coupling blocks have been extracted.
+    coupling_ops: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=list
+    )
+
+
+class PackedSweepEngine:
+    """Per-construction executor of the packed level-wise construction sweep.
+
+    Owns the dynamic (kernel- and rank-dependent) state: the stacked dense
+    GEMM operands, the per-level :class:`_LevelState` sample buffers and the
+    :class:`_ReplayRecord` chain used by ``updateSamples``.  The driving
+    :class:`~repro.core.builder.H2Constructor` keeps all numerical decisions
+    (convergence, tolerances, IDs, skeleton bookkeeping); the engine only
+    marshals packed buffers and issues batched launches.
+    """
+
+    def __init__(
+        self,
+        plan: ConstructionPlan,
+        backend: BatchedBackend,
+        timer: "PhaseTimer",
+    ):
+        self.plan = plan
+        self.backend = backend
+        self.counter: KernelLaunchCounter = backend.counter
+        self.timer = timer
+        self.records: Dict[int, _ReplayRecord] = {}
+        self._dense_ops: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+    # ------------------------------------------------------------- marshaling
+    def _gather(self, launches: int = 1) -> None:
+        self.counter.record("batched_gather", launches)
+
+    def build_dense_operands(self, padded_blocks: np.ndarray) -> None:
+        """Stack the extracted dense leaf blocks into fan-grouped GEMM operands."""
+        with self.timer.phase("misc"):
+            operands = _stack_operands(self.plan.dense_groups, padded_blocks)
+            self._dense_ops = [
+                (a, group.dest_pos, group.src_pos)
+                for a, group in zip(operands, self.plan.dense_groups)
+            ]
+
+    def set_coupling_operands(self, depth: int, padded_blocks: np.ndarray) -> None:
+        """Attach a level's coupling-subtract launches to its replay record."""
+        record = self.records.get(depth)
+        if record is None:
+            return
+        with self.timer.phase("misc"):
+            groups = self.plan.coupling_groups[depth]
+            operands = _stack_operands(groups, padded_blocks)
+            record.coupling_ops = [
+                (a, group.dest_pos, group.src_pos)
+                for a, group in zip(operands, groups)
+            ]
+
+    def _dense_subtract(self, y_stack: np.ndarray, omega_stack: np.ndarray) -> None:
+        """``y -= D @ omega`` over the packed leaf stacks (one launch per fan group)."""
+        with self.timer.phase("bsr_gemm"):
+            for a, dest_pos, src_pos in self._dense_ops:
+                self.backend.batched_gemm_scatter(
+                    y_stack,
+                    dest_pos,
+                    a,
+                    omega_stack,
+                    src_pos,
+                    alpha=-1.0,
+                    operation="construct_dense",
+                )
+
+    def _leaf_slabs(
+        self, omega: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather global ``(n, b)`` sketches into padded ``(leaves + 1, m_pad, b)`` stacks."""
+        plan = self.plan
+        count = plan.num_leaves
+        b = int(omega.shape[1])
+        with self.timer.phase("shrink_upsweep"):
+            mask = plan.leaf_mask[:, :, None]
+            omega_stack = np.zeros((count + 1, plan.m_pad, b), dtype=np.float64)
+            y_stack = np.zeros_like(omega_stack)
+            omega_stack[:count] = omega[plan.leaf_gather] * mask
+            y_stack[:count] = y[plan.leaf_gather] * mask
+            self._gather()
+        self._dense_subtract(y_stack, omega_stack)
+        return omega_stack, y_stack
+
+    # ---------------------------------------------------------- level lifecycle
+    def init_leaf(
+        self, omega: np.ndarray, y: np.ndarray, capacity_hint: int = 0
+    ) -> _LevelState:
+        """Load the initial global sketch into the leaf level's packed state."""
+        plan = self.plan
+        omega_stack, y_stack = self._leaf_slabs(omega, y)
+        state = _LevelState(
+            depth=plan.tree.depth,
+            nodes=plan.leaf_nodes,
+            heights=plan.leaf_sizes,
+            m_pad=plan.m_pad,
+            cols=int(omega.shape[1]),
+            capacity=max(capacity_hint, int(omega.shape[1])),
+        )
+        with self.timer.phase("shrink_upsweep"):
+            state.y[:, :, : state.cols] = y_stack
+            state.omega[:, :, : state.cols] = omega_stack
+        return state
+
+    def finish_level(
+        self, state: _LevelState, decompositions: Sequence
+    ) -> Tuple[np.ndarray, np.ndarray, _ReplayRecord]:
+        """Skeletonise a level: build its replay record, shrink & upsweep.
+
+        Returns the shrunk samples and upswept inputs as
+        ``(count + 1, r_pad, cols)`` stacks (sentinel zero block last) plus the
+        stored :class:`_ReplayRecord`.
+        """
+        count, m_pad, d = state.count, state.m_pad, state.cols
+        ranks = np.array([dec.rank for dec in decompositions], dtype=np.int64)
+        r_pad = int(ranks.max()) if count else 0
+
+        with self.timer.phase("shrink_upsweep"):
+            interp_t = np.zeros((count, r_pad, m_pad), dtype=np.float64)
+            shrink_node = np.zeros((count, r_pad), dtype=np.int64)
+            shrink_row = np.zeros((count, r_pad), dtype=np.int64)
+            shrink_mask = np.zeros((count, r_pad, 1), dtype=np.float64)
+            for i, dec in enumerate(decompositions):
+                r = int(ranks[i])
+                interp_t[i, :r, : dec.interpolation.shape[0]] = dec.interpolation.T
+                shrink_node[i, :r] = i
+                shrink_row[i, :r] = dec.skeleton
+                shrink_mask[i, :r, 0] = 1.0
+
+            # Upsweep the random inputs: Omega^{l+1} = X^T Omega^l, one launch.
+            omega_next = np.zeros((count + 1, r_pad, d), dtype=np.float64)
+        self.backend.batched_gemm_scatter(
+            omega_next,
+            np.arange(count, dtype=np.int64),
+            interp_t,
+            state.omega_view,
+            np.arange(count, dtype=np.int64),
+            operation="construct_upsweep",
+        )
+
+        with self.timer.phase("shrink_upsweep"):
+            # Shrink the samples to the skeleton rows: Y^{l+1} = Y_loc(J, :).
+            y_next = np.zeros((count + 1, r_pad, d), dtype=np.float64)
+            y_next[:count] = state.y[shrink_node, shrink_row, :d] * shrink_mask
+            self._gather()
+
+            record = _ReplayRecord(
+                depth=state.depth,
+                count=count,
+                m_pad=m_pad,
+                r_pad=r_pad,
+                ranks=ranks,
+                interp_t=interp_t,
+                shrink_node=shrink_node,
+                shrink_row=shrink_row,
+                shrink_mask=shrink_mask,
+            )
+            if state.depth > 0:
+                self._build_merge_maps(record, state)
+            self.records[state.depth] = record
+        return y_next, omega_next, record
+
+    def _build_merge_maps(self, record: _ReplayRecord, state: _LevelState) -> None:
+        """Child-to-parent gather: parent rows = children's stacked skeleton rows."""
+        tree = self.plan.tree
+        parents = self.plan.level_nodes[state.depth - 1]
+        child_pos = {node: i for i, node in enumerate(state.nodes)}
+        num_parents = len(parents)
+        heights = np.zeros(num_parents, dtype=np.int64)
+        pair_ranks = []
+        for i, tau in enumerate(parents):
+            nu1, nu2 = tree.children(tau)
+            r1, r2 = int(record.ranks[child_pos[nu1]]), int(record.ranks[child_pos[nu2]])
+            heights[i] = r1 + r2
+            pair_ranks.append((child_pos[nu1], r1, child_pos[nu2], r2))
+        m_pad = int(heights.max()) if num_parents else 0
+        # Padded slots address the sentinel zero block — no mask required.
+        merge_node = np.full((num_parents, m_pad), record.count, dtype=np.int64)
+        merge_row = np.zeros((num_parents, m_pad), dtype=np.int64)
+        for i, (p1, r1, p2, r2) in enumerate(pair_ranks):
+            merge_node[i, :r1] = p1
+            merge_row[i, :r1] = np.arange(r1)
+            merge_node[i, r1 : r1 + r2] = p2
+            merge_row[i, r1 : r1 + r2] = np.arange(r2)
+        record.parent_nodes = list(parents)
+        record.parent_heights = heights
+        record.parent_m_pad = m_pad
+        record.merge_node = merge_node
+        record.merge_row = merge_row
+
+    def _subtract_couplings(
+        self, record: _ReplayRecord, y_next: np.ndarray, omega_next: np.ndarray
+    ) -> None:
+        """``Y^{l+1} -= B @ Omega^{l+1}`` over the shrunk stacks (per fan group)."""
+        with self.timer.phase("bsr_gemm"):
+            for a, dest_pos, src_pos in record.coupling_ops:
+                self.backend.batched_gemm_scatter(
+                    y_next,
+                    dest_pos,
+                    a,
+                    omega_next,
+                    src_pos,
+                    alpha=-1.0,
+                    operation="construct_coupling",
+                )
+
+    def _merge(
+        self, record: _ReplayRecord, y_next: np.ndarray, omega_next: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack sibling pairs into ``(parents + 1, parent_m_pad, b)`` slabs."""
+        with self.timer.phase("shrink_upsweep"):
+            num_parents = len(record.parent_nodes)
+            b = int(y_next.shape[2])
+            y_merged = np.zeros(
+                (num_parents + 1, record.parent_m_pad, b), dtype=np.float64
+            )
+            omega_merged = np.zeros_like(y_merged)
+            y_merged[:num_parents] = y_next[record.merge_node, record.merge_row]
+            omega_merged[:num_parents] = omega_next[record.merge_node, record.merge_row]
+            self._gather()
+        return omega_merged, y_merged
+
+    def merge_to_parent(
+        self,
+        record: _ReplayRecord,
+        y_next: np.ndarray,
+        omega_next: np.ndarray,
+        capacity_hint: int = 0,
+    ) -> _LevelState:
+        """Build the parent level's packed state from a skeletonised level.
+
+        Mirrors the reference loop's inner-level prologue: subtract the
+        children's coupling contribution from their shrunk samples, then merge
+        sibling pairs into the parent sample blocks.
+        """
+        self._subtract_couplings(record, y_next, omega_next)
+        omega_merged, y_merged = self._merge(record, y_next, omega_next)
+        d = int(y_merged.shape[2])
+        state = _LevelState(
+            depth=record.depth - 1,
+            nodes=record.parent_nodes,
+            heights=record.parent_heights,
+            m_pad=record.parent_m_pad,
+            cols=d,
+            capacity=max(capacity_hint, d),
+        )
+        with self.timer.phase("shrink_upsweep"):
+            state.y[:, :, :d] = y_merged
+            state.omega[:, :, :d] = omega_merged
+        return state
+
+    # --------------------------------------------------------------- replay
+    def sweep_slab(
+        self, new_omega: np.ndarray, new_y: np.ndarray, to_depth: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``updateSamples``: push fresh sample columns up to ``to_depth``.
+
+        Replays the already-skeletonised levels on the ``(n, b)`` slab —
+        leaf gather, dense subtract, then per level one upsweep launch, one
+        skeleton gather, the coupling subtracts and one merge gather — and
+        returns ``(omega, y)`` slabs ready to append to the packed state at
+        ``to_depth``.  O(levels) launches total, no per-node Python state.
+        """
+        leaf_depth = self.plan.tree.depth
+        omega_stack, y_stack = self._leaf_slabs(new_omega, new_y)
+        for depth in range(leaf_depth, to_depth, -1):
+            record = self.records[depth]
+            count, r_pad = record.count, record.r_pad
+            b = int(omega_stack.shape[2])
+            with self.timer.phase("shrink_upsweep"):
+                omega_next = np.zeros((count + 1, r_pad, b), dtype=np.float64)
+            self.backend.batched_gemm_scatter(
+                omega_next,
+                np.arange(count, dtype=np.int64),
+                record.interp_t,
+                omega_stack,
+                np.arange(count, dtype=np.int64),
+                operation="construct_upsweep",
+            )
+            with self.timer.phase("shrink_upsweep"):
+                y_next = np.zeros((count + 1, r_pad, b), dtype=np.float64)
+                y_next[:count] = (
+                    y_stack[record.shrink_node, record.shrink_row]
+                    * record.shrink_mask
+                )
+                self._gather()
+            self._subtract_couplings(record, y_next, omega_next)
+            omega_stack, y_stack = self._merge(record, y_next, omega_next)
+        return omega_stack, y_stack
+
+    # ------------------------------------------------------------- statistics
+    def memory_bytes(self) -> int:
+        """Bytes held by the stacked operands and replay records."""
+        total = sum(a.nbytes for a, _, _ in self._dense_ops)
+        for record in self.records.values():
+            total += record.interp_t.nbytes
+            total += sum(a.nbytes for a, _, _ in record.coupling_ops)
+        return int(total)

@@ -26,10 +26,34 @@ Outline (symmetric matrix, permuted ordering):
 Adaptive sampling follows Section III-B: freshly drawn sample blocks are swept
 from the leaves up to the current level by replaying the already-computed
 skeletonizations (``updateSamples``).
+
+Two execution paths implement the same sweep:
+
+* the **packed path** (default) compiles the level-wise sweep through
+  :mod:`repro.batched.construction_plan` — every level's sample state lives in
+  zero-padded contiguous stacks, sketch accumulation and child gathers run as
+  a handful of ``batched_gemm_scatter`` / gather launches, and adaptive
+  sampling rounds write only the *new* columns into preallocated workspace
+  buffers (O(levels) launches per round);
+* the **reference loop** (``construct_loop``, selectable via
+  ``ConstructionConfig.construction_path`` or ``REPRO_CONSTRUCT_PATH=loop``)
+  keeps the original per-node schedule, exactly like ``matvec_loop`` on the
+  apply side.
+
+Both paths share every numerical decision (sample schedule, convergence
+tests, ID tolerances), so they produce identical skeleton selections at a
+fixed seed.  One benign exception: for a node with *no* admissible
+interactions anywhere (its sketched samples are pure cancellation), the
+packed path's fused block-row GEMM leaves an exactly-zero sample block and
+the ID correctly assigns rank 0, while the loop's per-node accumulation
+leaves ~1e-13 roundoff that a relative ID tolerance inflates to full rank —
+the resulting matrices are identical (no coupling references such a node),
+the packed basis is just smaller.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -38,6 +62,7 @@ import numpy as np
 
 from ..batched.backend import BatchedBackend, get_backend
 from ..batched.bsr import BlockSparseRowMatrix
+from ..batched.construction_plan import ConstructionPlan, PackedSweepEngine
 from ..batched.counters import KernelLaunchCounter
 from ..hmatrix.basis_tree import BasisTree
 from ..hmatrix.h2matrix import H2Matrix
@@ -82,6 +107,8 @@ class ConstructionResult:
     norm_estimate: float
     converged: bool
     levels: List[LevelReport] = field(default_factory=list)
+    #: Which sweep produced the matrix: ``"packed"`` (compiled) or ``"loop"``.
+    construction_path: str = "packed"
 
     @property
     def rank_range(self) -> Tuple[int, int]:
@@ -114,6 +141,7 @@ class H2Constructor:
         config: ConstructionConfig | None = None,
         seed: SeedLike = None,
         sample_source: Callable[[int], np.ndarray] | None = None,
+        plan: ConstructionPlan | None = None,
     ):
         self.partition = partition
         self.tree = partition.tree
@@ -127,6 +155,17 @@ class H2Constructor:
         #: sample bank here so every construction of a hyperparameter sweep
         #: sketches with the *same* random vectors.
         self.sample_source = sample_source
+        #: Optional precompiled :class:`ConstructionPlan` of this partition
+        #: (the static packing of the compiled sweep).  A
+        #: :class:`~repro.core.context.GeometryContext` compiles it once and
+        #: shares it across every construction of a sweep; when absent, the
+        #: packed path compiles its own.
+        if plan is not None and plan.partition is not partition:
+            raise ValueError(
+                "the supplied ConstructionPlan was compiled for a different "
+                "block partition"
+            )
+        self.plan = plan
 
         n = self.tree.num_points
         if operator.n != n or extractor.n != n:
@@ -150,7 +189,34 @@ class H2Constructor:
 
     # ------------------------------------------------------------------ public
     def construct(self) -> ConstructionResult:
-        """Run Algorithm 1 and return the constructed H2 matrix with statistics."""
+        """Run Algorithm 1 and return the constructed H2 matrix with statistics.
+
+        Dispatches to the compiled packed sweep or the per-node reference loop
+        according to ``ConstructionConfig.construction_path`` (``"auto"``
+        follows the ``REPRO_CONSTRUCT_PATH`` environment variable and defaults
+        to the packed path).
+        """
+        return self._construct(packed=self._resolve_path() == "packed")
+
+    def construct_loop(self) -> ConstructionResult:
+        """Run the per-node reference sweep (the ``matvec_loop`` analogue)."""
+        return self._construct(packed=False)
+
+    def construct_packed(self) -> ConstructionResult:
+        """Run the compiled level-wise batched sweep explicitly."""
+        return self._construct(packed=True)
+
+    def _resolve_path(self) -> str:
+        mode = self.config.construction_path
+        if mode == "auto":
+            mode = os.environ.get("REPRO_CONSTRUCT_PATH", "packed").lower()
+        if mode not in ("packed", "loop"):
+            raise ValueError(
+                f"unknown construction path {mode!r}; use 'packed' or 'loop'"
+            )
+        return mode
+
+    def _construct(self, packed: bool) -> ConstructionResult:
         start = time.perf_counter()
         self.operator.reset_statistics()
         self.extractor.entries_evaluated = 0
@@ -163,13 +229,25 @@ class H2Constructor:
             min_depth = self._min_admissible_depth()
             tester = self._build_convergence_tester()
 
+        engine: Optional[PackedSweepEngine] = None
+        if packed:
+            with self.timer.phase("misc"):
+                if self.plan is None:
+                    self.plan = ConstructionPlan(self.partition)
+                engine = PackedSweepEngine(self.plan, self.backend, self.timer)
+
         # Dense (inadmissible leaf) blocks are always required.
-        self._extract_dense_blocks()
+        if engine is not None:
+            self._extract_dense_blocks_packed(engine)
+        else:
+            self._extract_dense_blocks()
 
         levels: List[LevelReport] = []
         all_converged = True
 
-        if min_depth is not None:
+        if min_depth is not None and engine is not None:
+            all_converged = self._run_packed_levels(engine, tester, min_depth, levels)
+        elif min_depth is not None:
             d0 = min(self.config.effective_initial_samples, n)
             omega, y = self._draw_samples(d0)
 
@@ -212,6 +290,7 @@ class H2Constructor:
             norm_estimate=self._norm_estimate,
             converged=all_converged,
             levels=levels,
+            construction_path="packed" if packed else "loop",
         )
 
     # --------------------------------------------------------------- internals
@@ -370,16 +449,7 @@ class H2Constructor:
             interp = [dec.interpolation for dec in decompositions]
             upswept = self.backend.batched_gemm(interp, omega_loc, transpose_a=True)
             for i, (tau, dec) in enumerate(zip(nodes, decompositions)):
-                index_set = tree.index_set(tau)
-                record = NodeSkeleton(
-                    node=tau,
-                    skeleton_local=dec.skeleton,
-                    skeleton_global=index_set[dec.skeleton],
-                    interpolation=dec.interpolation,
-                    is_leaf=True,
-                )
-                self.skeletons.add(record)
-                self.basis.set_leaf_basis(tau, dec.interpolation)
+                self._record_node_skeleton(tau, dec, is_leaf=True)
                 y_next[tau] = y_loc[i][dec.skeleton]
                 omega_next[tau] = upswept[i]
 
@@ -403,6 +473,40 @@ class H2Constructor:
             for b in self.partition.near(tau):
                 bsr.add_block(i, node_pos[b], self.dense_blocks[(tau, b)])
         return bsr
+
+    def _record_node_skeleton(self, tau: int, dec, is_leaf: bool) -> NodeSkeleton:
+        """Skeleton/basis bookkeeping of one skeletonised node.
+
+        The single source of truth for both execution paths: the per-node loop
+        and the packed sweep record bit-identical :class:`NodeSkeleton`,
+        leaf-basis and transfer state through this helper, which is what the
+        loop↔packed skeleton-parity guarantee rests on.
+        """
+        if is_leaf:
+            skeleton_global = self.tree.index_set(tau)[dec.skeleton]
+            self.basis.set_leaf_basis(tau, dec.interpolation)
+        else:
+            nu1, nu2 = self.tree.children(tau)
+            rank1 = self.skeletons.rank(nu1)
+            merged = np.concatenate(
+                [
+                    self.skeletons.skeleton_global(nu1),
+                    self.skeletons.skeleton_global(nu2),
+                ]
+            )
+            skeleton_global = merged[dec.skeleton]
+            self.basis.set_rank(tau, dec.rank)
+            self.basis.set_transfer(nu1, dec.interpolation[:rank1])
+            self.basis.set_transfer(nu2, dec.interpolation[rank1:])
+        record = NodeSkeleton(
+            node=tau,
+            skeleton_local=dec.skeleton,
+            skeleton_global=skeleton_global,
+            interpolation=dec.interpolation,
+            is_leaf=is_leaf,
+        )
+        self.skeletons.add(record)
+        return record
 
     # ------------------------------------------------------------ inner levels
     def _process_inner_level(
@@ -432,7 +536,6 @@ class H2Constructor:
         with self.timer.phase("shrink_upsweep"):
             y_loc: List[np.ndarray] = []
             omega_loc: List[np.ndarray] = []
-            merged_indices: List[np.ndarray] = []
             for tau in nodes:
                 nu1, nu2 = tree.children(tau)
                 y_loc.append(
@@ -441,14 +544,6 @@ class H2Constructor:
                 omega_loc.append(
                     np.vstack(
                         [child_omega_next[nu1], child_omega_next[nu2]]
-                    )
-                )
-                merged_indices.append(
-                    np.concatenate(
-                        [
-                            self.skeletons.skeleton_global(nu1),
-                            self.skeletons.skeleton_global(nu2),
-                        ]
                     )
                 )
 
@@ -477,20 +572,7 @@ class H2Constructor:
             interp = [dec.interpolation for dec in decompositions]
             upswept = self.backend.batched_gemm(interp, omega_loc, transpose_a=True)
             for i, (tau, dec) in enumerate(zip(nodes, decompositions)):
-                nu1, nu2 = tree.children(tau)
-                rank1 = self.skeletons.rank(nu1)
-                transfer = dec.interpolation
-                self.basis.set_rank(tau, dec.rank)
-                self.basis.set_transfer(nu1, transfer[:rank1])
-                self.basis.set_transfer(nu2, transfer[rank1:])
-                record = NodeSkeleton(
-                    node=tau,
-                    skeleton_local=dec.skeleton,
-                    skeleton_global=merged_indices[i][dec.skeleton],
-                    interpolation=transfer,
-                    is_leaf=False,
-                )
-                self.skeletons.add(record)
+                self._record_node_skeleton(tau, dec, is_leaf=False)
                 y_next[tau] = y_loc[i][dec.skeleton]
                 omega_next[tau] = upswept[i]
 
@@ -633,3 +715,167 @@ class H2Constructor:
         raise RuntimeError(
             f"sample sweep did not reach depth {to_depth}; this indicates an internal error"
         )
+
+    # ------------------------------------------------------ packed (compiled)
+    def _extract_dense_blocks_packed(self, engine: PackedSweepEngine) -> None:
+        """Batched dense-block generation + stacking of the BSR GEMM operands.
+
+        One padded ``batchedGen`` launch evaluates every inadmissible leaf
+        block; the exact-shape blocks are sliced out for the H2 storage dict
+        and the padded stack feeds the fan-grouped ``batched_gemm_scatter``
+        operands directly.
+        """
+        plan = engine.plan
+        tree = self.tree
+        if not plan.dense_pairs:
+            return
+        requests = [
+            (tree.index_set(tau), tree.index_set(b)) for tau, b in plan.dense_pairs
+        ]
+        with self.timer.phase("entry_generation"):
+            padded = self.extractor.extract_blocks_padded(
+                requests, plan.m_pad, plan.m_pad, counter=self.counter
+            )
+        for i, (tau, b) in enumerate(plan.dense_pairs):
+            rows = tree.cluster_size(tau)
+            cols = tree.cluster_size(b)
+            # Views into the padded stack (padding is exact zeros); copying
+            # thousands of leaf blocks would double the marshaling traffic.
+            self.dense_blocks[(tau, b)] = padded[i, :rows, :cols]
+        engine.build_dense_operands(padded)
+
+    def _extract_couplings_packed(self, depth: int, engine: PackedSweepEngine, record) -> None:
+        """Batched coupling-block generation at ``depth`` (+ replay operands).
+
+        ``record`` is the level's replay record when the sweep continues above
+        this level (its ``r_pad`` fixes the padded block shape and the padded
+        stack becomes the coupling-subtract operands); at the topmost
+        admissible level only the storage dict is filled.
+        """
+        plan = engine.plan
+        pairs = plan.coupling_pairs.get(depth, [])
+        if not pairs:
+            return
+        nodes = plan.level_nodes[depth]
+        if record is not None:
+            r_pad = record.r_pad
+        else:
+            r_pad = max((self.skeletons.rank(node) for node in nodes), default=0)
+        requests = [
+            (self.skeletons.skeleton_global(s), self.skeletons.skeleton_global(t))
+            for s, t in pairs
+        ]
+        with self.timer.phase("entry_generation"):
+            padded = self.extractor.extract_blocks_padded(
+                requests, r_pad, r_pad, counter=self.counter
+            )
+        for i, (s, t) in enumerate(pairs):
+            # Copy the exact-shape slice: ranks vary within a level, so views
+            # into the (g, r_pad, r_pad) stack would pin the whole padded
+            # extraction in memory for the lifetime of the H2 matrix.
+            self.couplings[(s, t)] = padded[
+                i, : self.skeletons.rank(s), : self.skeletons.rank(t)
+            ].copy()
+        if record is not None:
+            engine.set_coupling_operands(depth, padded)
+
+    def _run_packed_levels(
+        self,
+        engine: PackedSweepEngine,
+        tester: ConvergenceTester,
+        min_depth: int,
+        levels: List[LevelReport],
+    ) -> bool:
+        """Drive the compiled sweep from the leaves up to ``min_depth``."""
+        tree = self.tree
+        cfg = self.config
+        n = tree.num_points
+        d0 = min(cfg.effective_initial_samples, n)
+        headroom = cfg.sample_block_size if cfg.adaptive else 0
+
+        omega, y = self._draw_samples(d0)
+        state = engine.init_leaf(omega, y, capacity_hint=d0 + headroom)
+        all_converged = True
+
+        for depth in range(tree.depth, min_depth - 1, -1):
+            rounds = 1
+            converged = True
+            if cfg.adaptive:
+                converged, rounds = self._adapt_level_packed(engine, state, tester)
+
+            rel_tol, abs_tols = self._id_tolerances(state.count)
+            with self.timer.phase("id"):
+                decompositions = self.backend.batched_row_id(
+                    [state.node_block(i) for i in range(state.count)],
+                    rel_tol=rel_tol,
+                    abs_tols=abs_tols,
+                    max_rank=cfg.max_rank,
+                )
+
+            self._record_level_skeletons(depth, state, decompositions)
+
+            ranks = [dec.rank for dec in decompositions]
+            levels.append(
+                LevelReport(
+                    depth=depth,
+                    num_nodes=state.count,
+                    samples_used=self._total_samples,
+                    sampling_rounds=rounds,
+                    max_rank=max(ranks) if ranks else 0,
+                    min_rank=min(ranks) if ranks else 0,
+                    converged=converged,
+                )
+            )
+            all_converged = all_converged and converged
+
+            if depth > min_depth:
+                y_next, omega_next, record = engine.finish_level(
+                    state, decompositions
+                )
+                self._extract_couplings_packed(depth, engine, record)
+                state = engine.merge_to_parent(
+                    record, y_next, omega_next,
+                    capacity_hint=state.cols + headroom,
+                )
+            else:
+                self._extract_couplings_packed(depth, engine, None)
+        return all_converged
+
+    def _record_level_skeletons(
+        self, depth: int, state, decompositions: Sequence
+    ) -> None:
+        """Skeleton/basis bookkeeping of one packed level (shared with the loop)."""
+        is_leaf = depth == self.tree.depth
+        with self.timer.phase("shrink_upsweep"):
+            for tau, dec in zip(state.nodes, decompositions):
+                self._record_node_skeleton(tau, dec, is_leaf=is_leaf)
+
+    def _adapt_level_packed(
+        self, engine: PackedSweepEngine, state, tester: ConvergenceTester
+    ) -> Tuple[bool, int]:
+        """Adaptive sampling over the packed state (same schedule as the loop).
+
+        Fresh sample blocks are swept up through the replay records in
+        O(levels) launches and appended as new *columns* of the preallocated
+        level buffers — no per-node re-copying.
+        """
+        rounds = 1
+        while True:
+            with self.timer.phase("convergence"):
+                mask = tester.converged_mask(state.y_active, self.backend)
+            if bool(np.all(mask)):
+                return True, rounds
+            if self._samples_exhausted():
+                return False, rounds
+
+            block = min(
+                self.config.sample_block_size,
+                max(self.tree.num_points - self._total_samples, 0),
+            )
+            if block <= 0:
+                return False, rounds
+            new_omega, new_y = self._draw_samples(block)
+            omega_slab, y_slab = engine.sweep_slab(new_omega, new_y, state.depth)
+            with self.timer.phase("shrink_upsweep"):
+                state.append(omega_slab, y_slab)
+            rounds += 1

@@ -2,6 +2,7 @@
 benchmark harness."""
 
 from .apply_report import ApplyReport, apply_report
+from .construction_report import ConstructionReport, construction_report
 from .error import construction_error, dense_relative_error
 from .gp_report import GPFitReport, gp_sweep_table
 from .memory import MemoryReport, memory_report
@@ -12,6 +13,8 @@ from .solver_report import convergence_table, residual_series
 __all__ = [
     "ApplyReport",
     "apply_report",
+    "ConstructionReport",
+    "construction_report",
     "GPFitReport",
     "gp_sweep_table",
     "construction_error",

@@ -1,6 +1,11 @@
 """Kernel functions defining the dense matrices to be compressed."""
 
-from .base import KernelFunction, PairwiseKernel, pairwise_distances
+from .base import (
+    KernelFunction,
+    PairwiseKernel,
+    pairwise_distances,
+    pairwise_distances_stacked,
+)
 from .composite import ScaledKernel, SumKernel, WhiteNoiseKernel
 from .covariance import (
     ExponentialKernel,
@@ -14,6 +19,7 @@ __all__ = [
     "KernelFunction",
     "PairwiseKernel",
     "pairwise_distances",
+    "pairwise_distances_stacked",
     "ExponentialKernel",
     "GaussianKernel",
     "Matern32Kernel",

@@ -100,6 +100,31 @@ def pairwise_distances(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     return np.sqrt(sq, out=sq)
 
 
+def pairwise_distances_stacked(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Batched Euclidean distances between ``(g, p, dim)`` and ``(g, q, dim)`` stacks.
+
+    Item ``i`` of the result equals ``pairwise_distances(x[i], y[i])`` —
+    including the per-block round-off floor, which is derived from each block's
+    own coordinate scale — but all ``g`` blocks are evaluated with one einsum /
+    matmul / sqrt pass.  This is the distance kernel behind the batched entry
+    generator (``EntryExtractor._extract_stacked`` /
+    ``extract_blocks_padded``): one launch evaluates the dense or coupling
+    blocks of an entire tree level.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 3 or y.ndim != 3 or x.shape[0] != y.shape[0]:
+        raise ValueError("stacked distances require (g, p, dim)/(g, q, dim) arrays")
+    x_sq = np.einsum("gij,gij->gi", x, x)
+    y_sq = np.einsum("gij,gij->gi", y, y)
+    sq = x_sq[:, :, None] + y_sq[:, None, :] - 2.0 * np.matmul(x, y.transpose(0, 2, 1))
+    tiny = np.finfo(np.float64).tiny
+    scale = x_sq.max(axis=1, initial=0.0) + y_sq.max(axis=1, initial=0.0)
+    floor = 64.0 * np.finfo(np.float64).eps * np.maximum(scale, tiny)
+    sq[sq < floor[:, None, None]] = 0.0
+    return np.sqrt(sq, out=sq)
+
+
 class PairwiseKernel(KernelFunction):
     """Base class for radial kernels ``K(x, y) = f(|x - y|)``.
 

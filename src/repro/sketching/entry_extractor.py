@@ -3,9 +3,17 @@
 The construction evaluates two kinds of sub-blocks directly: the dense
 inadmissible leaf blocks ``D_{tau,b} = K(I_tau, I_b)`` and the coupling blocks
 ``B_{s,t} = K(I~_s, I~_t)`` at the skeleton indices.  On the GPU all blocks of
-a level are generated with a single batched kernel launch; here
-:meth:`EntryExtractor.extract_blocks` plays that role (and records one launch
-in the optional counter).
+a level are generated with a single batched kernel launch;
+:meth:`EntryExtractor.extract_blocks` plays that role.  Extractors that can
+evaluate a *stack* of equally-shaped blocks in one vectorised pass
+(``supports_stacked``) run one launch per shape group — a dense-matrix
+extractor gathers all blocks with a single fancy index, a radial-kernel
+extractor evaluates one batched distance computation followed by a single
+``profile_with_diagonal`` call over the whole ``(g, p, q)`` stack.
+:meth:`EntryExtractor.extract_blocks_padded` additionally zero-pads every
+block to one uniform shape, producing the stacked operand layout the compiled
+construction engine (:mod:`repro.batched.construction_plan`) feeds straight
+into ``batched_gemm_scatter``.
 
 All index arrays refer to the cluster-tree permuted ordering.
 """
@@ -13,17 +21,22 @@ All index arrays refer to the cluster-tree permuted ordering.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence, Tuple
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..batched.counters import KernelLaunchCounter
-from ..kernels.base import KernelFunction
+from ..kernels.base import KernelFunction, PairwiseKernel, pairwise_distances_stacked
 from ..linalg.low_rank import LowRankMatrix
 
 
 class EntryExtractor(ABC):
     """Evaluates arbitrary sub-blocks of the matrix being compressed."""
+
+    #: Whether :meth:`_extract_stacked` evaluates a whole shape group in one
+    #: vectorised pass (otherwise batched requests fall back to a block loop).
+    supports_stacked: bool = False
 
     def __init__(self) -> None:
         #: Total number of matrix entries evaluated (paper: O(r N) overall).
@@ -38,6 +51,14 @@ class EntryExtractor(ABC):
     def _extract(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Evaluate the sub-block ``K[rows, cols]``."""
 
+    def _extract_stacked(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Evaluate a uniform stack of sub-blocks ``K[rows[i], cols[i]]``.
+
+        ``rows``/``cols`` are ``(g, p)`` / ``(g, q)`` index arrays; the result
+        is the ``(g, p, q)`` stack.  Only called when ``supports_stacked``.
+        """
+        raise NotImplementedError
+
     def extract(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
@@ -46,6 +67,45 @@ class EntryExtractor(ABC):
             return np.zeros((rows.shape[0], cols.shape[0]), dtype=np.float64)
         return np.asarray(self._extract(rows, cols), dtype=np.float64)
 
+    def _evaluate_shape_groups(
+        self,
+        requests: Sequence[Tuple[np.ndarray, np.ndarray]],
+        counter: KernelLaunchCounter | None,
+    ):
+        """Group requests by exact block shape and evaluate group by group.
+
+        The shared core of :meth:`extract_blocks` and
+        :meth:`extract_blocks_padded`: records one ``batched_gen`` launch per
+        shape group, evaluates each group in a single vectorised pass when
+        ``supports_stacked`` (falling back to a per-block loop otherwise or
+        for singleton groups) and yields ``((p, q), indices, stacked)`` with
+        ``stacked`` of shape ``(len(indices), p, q)``.  Zero-size shapes yield
+        ``stacked=None``.
+        """
+        reqs = [
+            (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))
+            for rows, cols in requests
+        ]
+        groups: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for i, (rows, cols) in enumerate(reqs):
+            groups[(int(rows.shape[0]), int(cols.shape[0]))].append(i)
+        if counter is not None:
+            counter.record("batched_gen", len(groups))
+        for (p, q), indices in groups.items():
+            if p == 0 or q == 0:
+                yield (p, q), indices, None
+                continue
+            if not self.supports_stacked or len(indices) == 1:
+                stacked = np.stack([self.extract(*reqs[i]) for i in indices])
+            else:
+                rows_idx = np.stack([reqs[i][0] for i in indices])
+                cols_idx = np.stack([reqs[i][1] for i in indices])
+                stacked = np.asarray(
+                    self._extract_stacked(rows_idx, cols_idx), dtype=np.float64
+                )
+                self.entries_evaluated += int(stacked.size)
+            yield (p, q), indices, stacked
+
     def extract_blocks(
         self,
         requests: Sequence[Tuple[np.ndarray, np.ndarray]],
@@ -53,12 +113,48 @@ class EntryExtractor(ABC):
     ) -> List[np.ndarray]:
         """Evaluate a batch of sub-blocks (the batched entry generator).
 
-        One call evaluates all dense or coupling blocks of a level; with a GPU
-        this is a single kernel launch, recorded in ``counter`` when given.
+        One call evaluates all dense or coupling blocks of a level.  Requests
+        are grouped by block shape; every group is one vectorised evaluation
+        (one "kernel launch", recorded in ``counter`` when given) for
+        extractors with ``supports_stacked``, and one launch covering the
+        per-block loop otherwise.  An empty request list records nothing.
         """
-        if counter is not None:
-            counter.record("batched_gen", 1)
-        return [self.extract(rows, cols) for rows, cols in requests]
+        if not requests:
+            return []
+        out: List[np.ndarray | None] = [None] * len(requests)
+        for (p, q), indices, stacked in self._evaluate_shape_groups(requests, counter):
+            for pos, i in enumerate(indices):
+                out[i] = (
+                    np.zeros((p, q)) if stacked is None else stacked[pos]
+                )
+        return out  # type: ignore[return-value]
+
+    def extract_blocks_padded(
+        self,
+        requests: Sequence[Tuple[np.ndarray, np.ndarray]],
+        pad_rows: int,
+        pad_cols: int,
+        counter: KernelLaunchCounter | None = None,
+    ) -> np.ndarray:
+        """Evaluate a batch of sub-blocks into one zero-padded ``(g, pr, pc)`` stack.
+
+        Every request's block lands in ``out[i, :len(rows), :len(cols)]`` with
+        exact zeros in the padding — the layout the compiled construction
+        engine stacks into batched GEMM operands.  Requests are grouped by
+        exact shape like :meth:`extract_blocks` (one launch per group for
+        extractors with ``supports_stacked``); each group's stacked result is
+        scattered into the zero-initialised output with one fancy write, so
+        only real entries are ever evaluated or moved.
+        """
+        g = len(requests)
+        out = np.zeros((g, int(pad_rows), int(pad_cols)), dtype=np.float64)
+        if g == 0:
+            return out
+        for (p, q), indices, stacked in self._evaluate_shape_groups(requests, counter):
+            if stacked is None:
+                continue
+            out[np.asarray(indices, dtype=np.int64), :p, :q] = stacked
+        return out
 
     def __call__(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         return self.extract(rows, cols)
@@ -66,6 +162,8 @@ class EntryExtractor(ABC):
 
 class DenseEntryExtractor(EntryExtractor):
     """Entries of an explicit dense matrix (permuted ordering)."""
+
+    supports_stacked = True
 
     def __init__(self, matrix: np.ndarray):
         super().__init__()
@@ -80,9 +178,17 @@ class DenseEntryExtractor(EntryExtractor):
     def _extract(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         return self.matrix[np.ix_(rows, cols)]
 
+    def _extract_stacked(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return self.matrix[rows[:, :, None], cols[:, None, :]]
+
 
 class KernelEntryExtractor(EntryExtractor):
-    """Entries of a kernel matrix over a (permuted) point set."""
+    """Entries of a kernel matrix over a (permuted) point set.
+
+    Radial (:class:`~repro.kernels.base.PairwiseKernel`) kernels evaluate
+    stacked block batches with one batched distance computation followed by a
+    single ``profile_with_diagonal`` pass over the whole stack.
+    """
 
     def __init__(self, kernel: KernelFunction, points: np.ndarray):
         super().__init__()
@@ -92,11 +198,19 @@ class KernelEntryExtractor(EntryExtractor):
             raise ValueError("points must be a (n, dim) array")
 
     @property
+    def supports_stacked(self) -> bool:  # type: ignore[override]
+        return isinstance(self.kernel, PairwiseKernel)
+
+    @property
     def n(self) -> int:
         return int(self.points.shape[0])
 
     def _extract(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         return self.kernel.evaluate(self.points[rows], self.points[cols])
+
+    def _extract_stacked(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        r = pairwise_distances_stacked(self.points[rows], self.points[cols])
+        return self.kernel.profile_with_diagonal(r)
 
 
 class H2EntryExtractor(EntryExtractor):

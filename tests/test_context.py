@@ -128,6 +128,71 @@ class TestReuse:
         assert third is not first
         assert ctx.statistics.constructions == 2
 
+    def test_construction_plan_compiled_once_per_context(self, points):
+        """The packed sweep's static packing is compiled once and shared."""
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        ctx.construct(ExponentialKernel(0.2), tolerance=TOL)
+        plan = ctx._construction_plan
+        assert plan is not None
+        ctx.construct(ExponentialKernel(0.35), tolerance=TOL)
+        ctx.construct(GaussianKernel(0.3), tolerance=TOL)
+        assert ctx._construction_plan is plan
+        assert ctx.statistics.construction_plan_compilations == 1
+        assert (
+            ctx.statistics.as_dict()["construction_plan_compilations"] == 1
+        )
+
+    def test_frozen_bank_replays_identically_through_packed_workspace(self, points):
+        """Re-constructing a sweep point replays the frozen sample columns
+        bit-identically through the packed level buffers."""
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        kernel = ExponentialKernel(0.2)
+        # Passing an explicit config bypasses the result cache, so both runs
+        # execute the full packed sweep against the same frozen Omega bank;
+        # warm-starting is disabled so they run the identical sample schedule.
+        config = ConstructionConfig(
+            tolerance=TOL, construction_path="packed", backend=ctx.backend
+        )
+        first = ctx.construct(kernel, config=config, warm_start=False)
+        second = ctx.construct(kernel, config=config, warm_start=False)
+        assert first is not second
+        x = np.random.default_rng(4).standard_normal(N)
+        assert np.array_equal(
+            first.matrix.matvec(x, permuted=True),
+            second.matrix.matvec(x, permuted=True),
+        )
+        assert first.total_samples == second.total_samples
+        assert first.construction_path == second.construction_path == "packed"
+
+    def test_packed_and_loop_paths_share_the_frozen_bank(self, points):
+        """Both execution paths draw the identical cached sample columns."""
+        ctx = GeometryContext(points, leaf_size=32, seed=9)
+        kernel = ExponentialKernel(0.2)
+        packed = ctx.construct(
+            kernel,
+            config=ConstructionConfig(
+                tolerance=TOL, construction_path="packed", backend=ctx.backend
+            ),
+            warm_start=False,
+        )
+        cached_columns = ctx.statistics.sample_columns_cached
+        loop = ctx.construct(
+            kernel,
+            config=ConstructionConfig(
+                tolerance=TOL, construction_path="loop", backend=ctx.backend
+            ),
+            warm_start=False,
+        )
+        # The loop replay consumed the same bank without growing it.
+        assert ctx.statistics.sample_columns_cached == cached_columns
+        assert loop.total_samples == packed.total_samples
+        x = np.random.default_rng(4).standard_normal(N)
+        err = rel_err(
+            loop.matrix.matvec(x, permuted=True),
+            packed.matrix.matvec(x, permuted=True),
+        )
+        assert err < 10 * TOL
+
     def test_result_cache_misses_on_in_place_kernel_mutation(self, points):
         """Mutating a kernel in place must not produce a stale cache hit."""
         ctx = GeometryContext(points, leaf_size=32, seed=9)
@@ -259,6 +324,42 @@ class TestBlockDistanceCachingExtractor:
         again = extractor.extract(rows, cols)
         assert np.array_equal(again, first)
         assert len(cache) == 1
+
+    def test_stacked_batches_use_and_fill_the_cache(self, points):
+        """The compiled sweep's shape-grouped extraction stays batched here."""
+        tree = ClusterTree.build(points, leaf_size=32)
+        kernel = ExponentialKernel(0.2)
+        cache = {}
+        extractor = BlockDistanceCachingExtractor(
+            kernel, tree.points, cache, cache_limit_bytes=1 << 24
+        )
+        assert extractor.supports_stacked
+        reference = KernelEntryExtractor(kernel, tree.points)
+        # Equal-size contiguous leaf ranges + one permuted (skeleton-style)
+        # request of the same shape — grouped into a single stacked pass.
+        contiguous = [
+            t for t in range(tree.num_nodes) if tree.is_leaf(t)
+        ][:3]
+        size = min(tree.cluster_size(t) for t in contiguous)
+        requests = [
+            (tree.index_set(t)[:size], tree.index_set(contiguous[0])[:size])
+            for t in contiguous
+        ]
+        rng = np.random.default_rng(8)
+        permuted = rng.permutation(len(points))[:size]
+        requests.append((permuted, requests[0][1]))
+        blocks = extractor.extract_blocks(requests)
+        for (rows, cols), block in zip(requests, blocks):
+            assert np.allclose(
+                block, reference.extract(rows, cols), rtol=0.0, atol=1e-12
+            )
+        # The contiguous pairs were cached; the permuted request was not.
+        assert len(cache) == len(requests) - 1
+        # A second stacked pass is served from the cache bit-identically.
+        again = extractor.extract_blocks(requests[:-1])
+        for block, prev in zip(again, blocks):
+            assert np.array_equal(block, prev)
+        assert len(cache) == len(requests) - 1
 
     def test_permuted_and_gapped_sets_bypass_cache(self, points):
         """Span == size is not contiguity: skeleton pivot orders are unsorted.

@@ -110,7 +110,7 @@ class TestEntryExtractors:
         out = ex.extract(np.zeros(0, dtype=np.int64), np.arange(5))
         assert out.shape == (0, 5)
 
-    def test_extract_blocks_counts_one_launch(self, dense_cov_2d):
+    def test_extract_blocks_counts_one_launch_per_shape_group(self, dense_cov_2d):
         ex = DenseEntryExtractor(dense_cov_2d)
         counter = KernelLaunchCounter()
         blocks = ex.extract_blocks(
@@ -118,7 +118,20 @@ class TestEntryExtractors:
             counter=counter,
         )
         assert len(blocks) == 2
+        # Two distinct block shapes -> two batched-generation launches ...
+        assert counter.by_operation()["batched_gen"] == 2
+        # ... but uniform shapes collapse into a single launch, ...
+        counter.reset()
+        uniform = ex.extract_blocks(
+            [(np.arange(3), np.arange(4)), (np.arange(7, 10), np.arange(2, 6))],
+            counter=counter,
+        )
         assert counter.by_operation()["batched_gen"] == 1
+        assert np.array_equal(uniform[1], dense_cov_2d[np.ix_(np.arange(7, 10), np.arange(2, 6))])
+        # ... and an empty request list records nothing at all.
+        counter.reset()
+        assert ex.extract_blocks([], counter=counter) == []
+        assert counter.by_operation() == {}
 
     def test_low_rank_extractor(self):
         lr = random_low_rank(30, 3, seed=8)
@@ -154,3 +167,126 @@ class TestEntryExtractors:
         assert np.allclose(
             ex.extract(rows, cols), cov_h2.get_block(rows, cols, permuted=True)
         )
+
+
+class TestStackedExtraction:
+    """Batched (per-shape-group) block evaluation and the padded stack layout."""
+
+    def _requests(self, rng, n, shapes):
+        return [
+            (
+                rng.choice(n, size=p, replace=False),
+                rng.choice(n, size=q, replace=False),
+            )
+            for p, q in shapes
+        ]
+
+    def test_stacked_kernel_blocks_match_per_block_extraction(
+        self, tree_2d, exp_kernel
+    ):
+        ex = KernelEntryExtractor(exp_kernel, tree_2d.points)
+        assert ex.supports_stacked
+        rng = np.random.default_rng(3)
+        requests = self._requests(rng, ex.n, [(6, 9), (6, 9), (6, 9), (4, 9)])
+        blocks = ex.extract_blocks(requests)
+        for (rows, cols), block in zip(requests, blocks):
+            assert np.allclose(
+                block, exp_kernel.evaluate(tree_2d.points[rows], tree_2d.points[cols]),
+                rtol=0.0, atol=1e-14,
+            )
+
+    def test_pairwise_distances_stacked_matches_flat(self, tree_2d):
+        from repro.kernels import pairwise_distances, pairwise_distances_stacked
+
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 7, 3))
+        y = rng.standard_normal((4, 5, 3))
+        stacked = pairwise_distances_stacked(x, y)
+        for i in range(4):
+            assert np.allclose(
+                stacked[i], pairwise_distances(x[i], y[i]), rtol=0.0, atol=1e-14
+            )
+        with pytest.raises(ValueError, match="stacked"):
+            pairwise_distances_stacked(x[0], y[0])
+
+    def test_padded_extraction_matches_and_pads_with_exact_zeros(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        rng = np.random.default_rng(7)
+        requests = self._requests(
+            rng, dense_cov_2d.shape[0], [(3, 5), (3, 5), (2, 4), (1, 1)]
+        )
+        counter = KernelLaunchCounter()
+        padded = ex.extract_blocks_padded(requests, 4, 6, counter=counter)
+        assert padded.shape == (4, 4, 6)
+        # Three distinct shapes -> three generation launches.
+        assert counter.by_operation()["batched_gen"] == 3
+        for i, (rows, cols) in enumerate(requests):
+            p, q = len(rows), len(cols)
+            assert np.array_equal(padded[i, :p, :q], dense_cov_2d[np.ix_(rows, cols)])
+            mask = np.ones((4, 6), dtype=bool)
+            mask[:p, :q] = False
+            assert np.all(padded[i][mask] == 0.0)
+
+    def test_padded_extraction_empty_request_list(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        counter = KernelLaunchCounter()
+        out = ex.extract_blocks_padded([], 3, 3, counter=counter)
+        assert out.shape == (0, 3, 3)
+        assert counter.by_operation() == {}
+
+    def test_padded_extraction_skips_zero_size_blocks(self, dense_cov_2d):
+        ex = DenseEntryExtractor(dense_cov_2d)
+        empty = np.zeros(0, dtype=np.int64)
+        out = ex.extract_blocks_padded(
+            [(np.arange(2), np.arange(3)), (empty, np.arange(3))], 3, 3
+        )
+        assert np.array_equal(out[0, :2, :3], dense_cov_2d[:2, :3])
+        assert np.all(out[1] == 0.0)
+
+    def test_non_stacked_extractor_falls_back_to_block_loop(self, cov_h2):
+        ex = H2EntryExtractor(cov_h2)
+        assert not ex.supports_stacked
+        rng = np.random.default_rng(9)
+        requests = self._requests(rng, ex.n, [(3, 4), (3, 4), (2, 2)])
+        counter = KernelLaunchCounter()
+        blocks = ex.extract_blocks(requests, counter=counter)
+        # Launches are still recorded per shape group (the batched dispatch
+        # granularity), even though the evaluation loops over the blocks.
+        assert counter.by_operation()["batched_gen"] == 2
+        for (rows, cols), block in zip(requests, blocks):
+            assert np.allclose(
+                block, cov_h2.get_block(rows, cols, permuted=True)
+            )
+        padded = ex.extract_blocks_padded(requests, 3, 4)
+        for i, (rows, cols) in enumerate(requests):
+            assert np.allclose(
+                padded[i, : len(rows), : len(cols)],
+                cov_h2.get_block(rows, cols, permuted=True),
+            )
+
+    def test_white_noise_diagonal_survives_stacked_path(self, tree_2d):
+        """profile_with_diagonal over the distance stack keeps exact diagonals."""
+        from repro.kernels import WhiteNoiseKernel
+
+        ex = KernelEntryExtractor(WhiteNoiseKernel(1.0), tree_2d.points)
+        assert ex.supports_stacked
+        blocks = ex.extract_blocks([(np.arange(3), np.arange(3))] * 2)
+        for block in blocks:
+            assert np.array_equal(block, np.eye(3))
+
+    def test_non_pairwise_kernel_uses_per_block_path(self, tree_2d):
+        from repro.kernels import KernelFunction
+
+        class DotKernel(KernelFunction):
+            """Non-radial kernel: no batched distance path available."""
+
+            def evaluate(self, x, y):
+                return x @ y.T
+
+        ex = KernelEntryExtractor(DotKernel(), tree_2d.points)
+        assert not ex.supports_stacked
+        rows = np.arange(4)
+        blocks = ex.extract_blocks([(rows, rows)] * 2)
+        expected = tree_2d.points[rows] @ tree_2d.points[rows].T
+        for block in blocks:
+            assert np.array_equal(block, expected)
