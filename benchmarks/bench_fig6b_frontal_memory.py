@@ -23,7 +23,7 @@ from repro import (
     H2Constructor,
     build_block_partition,
     build_hodlr,
-    build_hss,
+    compress,
 )
 from repro.diagnostics import format_series
 from repro.multifrontal import root_frontal_matrix
@@ -46,8 +46,15 @@ def compress_front(grid: int, tolerance: float = DEFAULT_TOLERANCE):
         ConstructionConfig(tolerance=tolerance, sample_block_size=32),
         seed=1,
     ).construct()
-    hss = build_hss(
-        tree, DenseOperator(dense), extractor, tolerance=tolerance, sample_block_size=32, seed=2
+    hss = compress(
+        format="hss",
+        tree=tree,
+        operator=DenseOperator(dense),
+        extractor=extractor,
+        tol=tolerance,
+        sample_block_size=32,
+        seed=2,
+        full_result=True,
     )
     hodlr = build_hodlr(tree, extractor.extract, tol=tolerance)
     return {

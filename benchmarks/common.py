@@ -26,16 +26,16 @@ from typing import Dict, List
 
 import numpy as np
 
+import repro
 from repro import (
     ClusterTree,
-    ConstructionConfig,
     DenseEntryExtractor,
     DenseOperator,
+    ExecutionPolicy,
     ExponentialKernel,
     GeneralAdmissibility,
-    H2Constructor,
     HelmholtzKernel,
-    build_block_partition,
+    Session,
     uniform_cube_points,
 )
 
@@ -62,19 +62,48 @@ def bench_grids() -> List[int]:
 
 @dataclass
 class Problem:
-    """A dense test problem: geometry, partition, matrix, operator, extractor."""
+    """A dense test problem: geometry session, matrix, operator, extractor."""
 
     name: str
     n: int
-    tree: ClusterTree
-    partition: object
+    session: Session
     dense: np.ndarray
     operator: DenseOperator
     extractor: DenseEntryExtractor
 
+    @property
+    def tree(self) -> ClusterTree:
+        return self.session.tree
+
+    @property
+    def partition(self):
+        return self.session.partition
+
     def fresh_operator(self) -> DenseOperator:
         """A new operator instance so per-run sample statistics start from zero."""
         return DenseOperator(self.dense)
+
+
+def _make_problem(
+    name: str, kernel, n: int, leaf_size: int, eta: float, seed: int
+) -> Problem:
+    """Shared harness setup: geometry via the facade, dense reference matrix."""
+    points = uniform_cube_points(n, dim=3, seed=seed)
+    session = Session(
+        points,
+        leaf_size=leaf_size,
+        admissibility=GeneralAdmissibility(eta=eta),
+        distance_cache="none",
+    )
+    dense = kernel.matrix(session.tree.points)
+    return Problem(
+        name=name,
+        n=n,
+        session=session,
+        dense=dense,
+        operator=DenseOperator(dense),
+        extractor=DenseEntryExtractor(dense),
+    )
 
 
 def make_covariance_problem(
@@ -85,18 +114,8 @@ def make_covariance_problem(
     length_scale: float = 0.2,
 ) -> Problem:
     """3D exponential-covariance problem of Section V-A (Eq. 8)."""
-    points = uniform_cube_points(n, dim=3, seed=seed)
-    tree = ClusterTree.build(points, leaf_size=leaf_size)
-    partition = build_block_partition(tree, GeneralAdmissibility(eta=eta))
-    dense = ExponentialKernel(length_scale).matrix(tree.points)
-    return Problem(
-        name="covariance",
-        n=n,
-        tree=tree,
-        partition=partition,
-        dense=dense,
-        operator=DenseOperator(dense),
-        extractor=DenseEntryExtractor(dense),
+    return _make_problem(
+        "covariance", ExponentialKernel(length_scale), n, leaf_size, eta, seed
     )
 
 
@@ -108,18 +127,13 @@ def make_ie_problem(
     wavenumber: float = 3.0,
 ) -> Problem:
     """3D Helmholtz volume-IE problem of Section V-A (Eq. 9)."""
-    points = uniform_cube_points(n, dim=3, seed=seed)
-    tree = ClusterTree.build(points, leaf_size=leaf_size)
-    partition = build_block_partition(tree, GeneralAdmissibility(eta=eta))
-    dense = HelmholtzKernel(wavenumber=wavenumber, diagonal_value=0.0).matrix(tree.points)
-    return Problem(
-        name="ie",
-        n=n,
-        tree=tree,
-        partition=partition,
-        dense=dense,
-        operator=DenseOperator(dense),
-        extractor=DenseEntryExtractor(dense),
+    return _make_problem(
+        "ie",
+        HelmholtzKernel(wavenumber=wavenumber, diagonal_value=0.0),
+        n,
+        leaf_size,
+        eta,
+        seed,
     )
 
 
@@ -132,18 +146,19 @@ def construct_h2(
     initial_samples: int | None = None,
     seed: int = 7,
 ):
-    """Run the bottom-up constructor on a benchmark problem."""
-    config = ConstructionConfig(
-        tolerance=tolerance,
+    """Run the bottom-up constructor on a benchmark problem (facade path)."""
+    return repro.compress(
+        partition=problem.partition,
+        operator=problem.fresh_operator(),
+        extractor=problem.extractor,
+        tol=tolerance,
         sample_block_size=sample_block_size,
         adaptive=adaptive,
         initial_samples=initial_samples,
-        backend=backend,
+        seed=seed,
+        policy=ExecutionPolicy(backend=backend),
+        full_result=True,
     )
-    constructor = H2Constructor(
-        problem.partition, problem.fresh_operator(), problem.extractor, config, seed=seed
-    )
-    return constructor.construct()
 
 
 def measured_error(result, problem: Problem) -> float:

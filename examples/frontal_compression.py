@@ -21,7 +21,7 @@ from repro import (
     H2Constructor,
     build_block_partition,
     build_hodlr,
-    build_hss,
+    compress,
 )
 from repro.diagnostics import dense_relative_error, format_table
 from repro.multifrontal import root_frontal_matrix
@@ -55,8 +55,15 @@ def main(grid: int = 20) -> None:
         ]
     )
 
-    hss = build_hss(
-        tree, DenseOperator(dense), extractor, tolerance=tolerance, sample_block_size=32, seed=2
+    hss = compress(
+        format="hss",
+        tree=tree,
+        operator=DenseOperator(dense),
+        extractor=extractor,
+        tol=tolerance,
+        sample_block_size=32,
+        seed=2,
+        full_result=True,
     )
     rows.append(
         [

@@ -4,14 +4,14 @@ The statistical workload the covariance benchmarks point at, composed from
 every subsystem of the library:
 
 1. draw noisy observations of a smooth function at scattered 2D points;
-2. fit a :class:`repro.GaussianProcess` — the covariance is compressed with
+2. fit a Gaussian process through ``Session.gp`` — the covariance is compressed with
    the sketching constructor, its log-determinant comes from the HODLR
    factorization and the representer weights from factorization-preconditioned
    CG over the compiled batched apply plan;
 3. select the kernel length scale and nugget by a grid sweep refined with
-   Nelder–Mead — every sweep point re-uses the cached geometry
-   (:class:`repro.GeometryContext`), which is what makes model selection
-   affordable;
+   Nelder–Mead — every sweep point re-uses the cached geometry of the
+   :class:`repro.Session` (tree, partition, distances, frozen sample bank),
+   which is what makes model selection affordable;
 4. predict mean/uncertainty at held-out points and draw posterior samples.
 
 Run with:  python examples/gp_regression.py [N]
@@ -21,7 +21,7 @@ import sys
 
 import numpy as np
 
-from repro import ExponentialKernel, GaussianProcess, gp_sweep_table, uniform_cube_points
+from repro import ExponentialKernel, Session, gp_sweep_table, uniform_cube_points
 
 NOISE_TRUE = 0.05
 
@@ -39,12 +39,14 @@ def main(n: int = 2048) -> None:
     y = target_function(train) + NOISE_TRUE * rng.standard_normal(n)
 
     # --- fit with model selection -----------------------------------------
-    gp = GaussianProcess(
-        train,
+    # A Session caches the geometry (tree, partition, distances, sample
+    # bank); gp() hands the GP the same cached context every sweep point
+    # re-uses.
+    session = Session(train, seed=2)
+    gp = session.gp(
         ExponentialKernel(length_scale=0.5),  # deliberately bad initial guess
         noise=0.5,
         tolerance=1e-7,
-        seed=2,
     )
     gp.fit(
         y,

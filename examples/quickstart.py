@@ -1,12 +1,17 @@
 """Quickstart: compress a 3D covariance matrix into an H2 matrix.
 
-This is the minimal end-to-end workflow of the library:
+This is the minimal end-to-end workflow of the library through the
+:mod:`repro.api` façade:
 
-1. generate a 3D point cloud and cluster it into a KD cluster tree;
-2. build the strong-admissibility block partition (dual tree traversal);
-3. hand the black-box sketching operator and the entry evaluator of the
-   exponential covariance kernel to the bottom-up constructor (Algorithm 1);
-4. use the resulting H2 matrix: fast matvec, memory report, error check.
+1. generate a 3D point cloud;
+2. hand points + kernel to :func:`repro.compress` — the cluster tree, the
+   strong-admissibility block partition and the sketching operator/entry
+   evaluator of Algorithm 1 are assembled behind the scenes;
+3. use the resulting H2 operator: fast matvec, memory report, error check.
+
+Every format (``h2``/``hss``/``hodlr``/``hmatrix``) returns an operator
+implementing the same ``HierarchicalOperator`` protocol, so everything below
+works unchanged with ``format="hss"`` etc.
 
 Run with:  python examples/quickstart.py [N]
 """
@@ -16,59 +21,40 @@ import time
 
 import numpy as np
 
-from repro import (
-    ClusterTree,
-    ConstructionConfig,
-    ExponentialKernel,
-    GeneralAdmissibility,
-    H2Constructor,
-    KernelEntryExtractor,
-    KernelMatVecOperator,
-    build_block_partition,
-    uniform_cube_points,
-)
+import repro
 from repro.diagnostics import construction_error
 
 
 def main(n: int = 8192) -> None:
     print(f"== Quickstart: H2 compression of an exponential covariance matrix (N={n}) ==")
 
-    # 1. Geometry and cluster tree (leaf size 64, as in the paper).
-    points = uniform_cube_points(n, dim=3, seed=0)
-    tree = ClusterTree.build(points, leaf_size=64)
-    print(f"cluster tree: {tree.describe()}")
-
-    # 2. Block partition with the general admissibility condition (eta = 0.7).
-    partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
-    stats = partition.statistics()
-    print(
-        f"partition: {stats['num_admissible_blocks']} admissible blocks, "
-        f"{stats['num_inadmissible_blocks']} dense blocks, Csp = {stats['sparsity_constant']}"
-    )
-
-    # 3. Black-box operator (exact blocked kernel matvec) and entry evaluator.
-    kernel = ExponentialKernel(length_scale=0.2)
-    operator = KernelMatVecOperator(kernel, tree.points)
-    extractor = KernelEntryExtractor(kernel, tree.points)
-
-    config = ConstructionConfig(tolerance=1e-6, sample_block_size=64, backend="vectorized")
+    # Three lines from points to a compressed hierarchical operator.
+    points = repro.uniform_cube_points(n, dim=3, seed=0)
+    kernel = repro.ExponentialKernel(length_scale=0.2)
     start = time.perf_counter()
-    result = H2Constructor(partition, operator, extractor, config, seed=1).construct()
+    result = repro.compress(
+        points, kernel, format="h2", tol=1e-6, seed=1, full_result=True
+    )
     elapsed = time.perf_counter() - start
     h2 = result.matrix
 
-    lo, hi = result.rank_range
-    print(f"construction: {elapsed:.2f}s, {result.total_samples} samples, ranks {lo}-{hi}")
+    stats = h2.statistics()
+    print(
+        f"construction: {elapsed:.2f}s, {result.total_samples} samples, "
+        f"ranks {stats['rank_min']}-{stats['rank_max']}, "
+        f"Csp = {stats['sparsity_constant']}"
+    )
     print(
         f"memory: {h2.total_memory_mb():.1f} MB "
         f"(dense would be {n * n * 8 / 2**20:.1f} MB)"
     )
 
-    # 4. Use the H2 matrix.
+    # Use the operator: compiled batched apply in the original point ordering.
     x = np.random.default_rng(2).standard_normal(n)
-    y = h2.matvec(x)  # original point ordering
+    y = h2 @ x
     print(f"matvec output norm: {np.linalg.norm(y):.6g}")
 
+    operator = repro.KernelMatVecOperator(kernel, h2.tree.points)
     error = construction_error(h2, operator, num_iterations=8, seed=3)
     print(f"measured relative error vs the kernel operator: {error:.3e}")
 

@@ -7,47 +7,71 @@ A pure-Python/NumPy reproduction of
     IPDPS 2025 (arXiv:2506.16759),
 
 including the cluster-tree / block-partition substrate, kernel matrices, a
-batched (GPU-style) execution engine, the bottom-up sketching construction
-algorithm (fixed-sample and adaptive), H2 arithmetic (matvec, entry
-extraction, memory accounting), low-rank update recompression, the top-down
-peeling and sketched H-matrix baselines, and a multifrontal frontal-matrix
+batched (GPU-style) execution engine behind a named backend registry
+(:mod:`repro.backends`), the bottom-up sketching construction algorithm
+(fixed-sample and adaptive, compiled level-wise sweep), H2 arithmetic through
+compiled batched apply plans, low-rank update recompression, the top-down
+peeling and sketched H-matrix baselines, Krylov solvers with hierarchical
+factorization/preconditioning, Gaussian-process regression with
+geometry-reuse hyperparameter sweeps, and a multifrontal frontal-matrix
 substrate for the weak-admissibility comparisons.
+
+Every hierarchical format (H2, HSS, HODLR, H) implements the same
+:class:`~repro.api.protocol.HierarchicalOperator` protocol, and the
+:mod:`repro.api` façade reduces the pipeline to one call per step.
 
 Quickstart
 ----------
+Compress a covariance matrix into a hierarchical operator in three lines:
+
 >>> import numpy as np
->>> from repro import (ClusterTree, GeneralAdmissibility, build_block_partition,
-...                    ExponentialKernel, KernelMatVecOperator, KernelEntryExtractor,
-...                    H2Constructor, ConstructionConfig, uniform_cube_points)
->>> points = uniform_cube_points(2048, seed=0)
->>> tree = ClusterTree.build(points, leaf_size=64)
->>> partition = build_block_partition(tree, GeneralAdmissibility(eta=0.7))
->>> kernel = ExponentialKernel(length_scale=0.2)
->>> operator = KernelMatVecOperator(kernel, tree.points)
->>> extractor = KernelEntryExtractor(kernel, tree.points)
->>> result = H2Constructor(partition, operator, extractor,
-...                        ConstructionConfig(tolerance=1e-6)).construct()
->>> h2 = result.matrix          # H2 matrix: h2.matvec(x), h2.memory_bytes(), ...
+>>> import repro
+>>> points = repro.uniform_cube_points(512, dim=3, seed=0)
+>>> h2 = repro.compress(points, repro.ExponentialKernel(0.2), tol=1e-6, seed=1)
+>>> h2.shape
+(512, 512)
+>>> y = h2 @ np.ones(512)       # compiled batched apply, original ordering
 
-Solving linear systems with constructed matrices (see the top-level README.md
-for the full walk-through)
---------------------------------------------------------------------------
->>> from repro import HierarchicalPreconditioner, cg
->>> M = HierarchicalPreconditioner.from_operator(tree, operator, extractor,
-...                                              tolerance=1e-2)
->>> b = np.ones(tree.num_points)
->>> solve = cg(h2, b, tol=1e-8, M=M)   # solve.x, solve.iterations, ...
+``format="hss"`` / ``"hodlr"`` / ``"hmatrix"`` select the other formats;
+``repro.convert(h2, "hodlr")`` moves between them.
 
-Gaussian-process regression with geometry-reuse hyperparameter sweeps
----------------------------------------------------------------------
->>> from repro import GaussianProcess
->>> y = np.sin(points[:, 0] * 6.0)
->>> gp = GaussianProcess(points, ExponentialKernel(0.2), noise=1e-2)
->>> gp.fit(y, length_scales=[0.1, 0.2, 0.4])   # sweep re-uses the geometry
->>> mean, std = gp.predict(points[:16], return_std=True)
->>> gp.log_marginal_likelihood_                # doctest: +SKIP
+Solving linear systems (see the top-level README.md for the full
+walk-through): a :class:`~repro.api.facade.Session` chains construction,
+factorization and solves over one cached geometry:
+
+>>> sess = repro.Session(points, seed=1)
+>>> solve = (sess.compress(repro.ExponentialKernel(0.2), tol=1e-8)
+...          .factor(noise=1e-2)
+...          .solve(np.ones(512)))
+>>> bool(solve.converged)
+True
+
+Gaussian-process regression shares the same session geometry — every
+hyperparameter sweep point re-uses the cached tree/partition/distances/sample
+bank:
+
+>>> gp = sess.gp(repro.ExponentialKernel(0.2), noise=1e-2)
+>>> gp.fit(np.sin(points[:, 0] * 6.0),
+...        length_scales=[0.1, 0.2, 0.4])                # doctest: +SKIP
+>>> mean, std = gp.predict(points[:16], return_std=True)  # doctest: +SKIP
+
+The pre-façade entry points (``ClusterTree`` → ``build_block_partition`` →
+``H2Constructor`` and friends) remain the expert path for custom operators,
+extractors and partitions; :func:`repro.compress` accepts them through its
+``tree=``/``partition=``/``operator=``/``extractor=`` overrides.
 """
 
+from . import backends
+from .api import (
+    ExecutionPolicy,
+    HierarchicalOperator,
+    HierarchicalOperatorMixin,
+    Session,
+    available_conversions,
+    compress,
+    convert,
+    register_conversion,
+)
 from .batched import (
     BatchedBackend,
     BlockSparseRowMatrix,
@@ -99,6 +123,7 @@ from .hmatrix import (
     LinearOperator,
     ShiftedLinearOperator,
     as_linear_operator,
+    build_hmatrix_aca,
     build_hodlr,
     build_hss,
     hodlr_from_h2,
@@ -155,102 +180,103 @@ from .tree import (
     build_block_partition,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: Public API, kept alphabetically sorted (guarded by tests/test_public_api.py).
 __all__ = [
-    "__version__",
-    # tree / geometry
-    "ClusterTree",
-    "GeneralAdmissibility",
-    "WeakAdmissibility",
+    "BasisTree",
+    "BatchedBackend",
     "BlockPartition",
-    "build_block_partition",
+    "BlockSparseRowMatrix",
     "BoundingBox",
-    "uniform_cube_points",
-    "grid_points",
-    "plane_points",
-    "random_sphere_points",
-    # kernels
-    "KernelFunction",
-    "PairwiseKernel",
+    "ClusterTree",
+    "ConstructionConfig",
+    "ConstructionPlan",
+    "ConstructionResult",
+    "DenseEntryExtractor",
+    "DenseOperator",
+    "EntryExtractor",
+    "ExecutionPolicy",
     "ExponentialKernel",
+    "FrontReport",
+    "GPFitReport",
     "GaussianKernel",
+    "GaussianProcess",
+    "GeneralAdmissibility",
+    "GeometryContext",
+    "H2ApplyPlan",
+    "H2Constructor",
+    "H2EntryExtractor",
+    "H2Matrix",
+    "H2Operator",
+    "HMatrix",
+    "HODLRFactorization",
+    "HODLRMatrix",
+    "HelmholtzKernel",
+    "HierarchicalOperator",
+    "HierarchicalOperatorMixin",
+    "HierarchicalPreconditioner",
+    "KernelEntryExtractor",
+    "KernelFunction",
+    "KernelLaunchCounter",
+    "KernelMatVecOperator",
+    "KrylovResult",
+    "LaplaceKernel",
+    "LinearOperator",
+    "LowRankEntryExtractor",
+    "LowRankMatrix",
+    "LowRankOperator",
     "Matern32Kernel",
     "Matern52Kernel",
-    "HelmholtzKernel",
-    "LaplaceKernel",
-    "ScaledKernel",
-    "SumKernel",
-    "WhiteNoiseKernel",
-    # linalg
-    "LowRankMatrix",
-    "random_low_rank",
-    "row_id",
-    "estimate_spectral_norm",
-    "estimate_relative_error",
-    # batched engine
-    "BatchedBackend",
-    "SerialBackend",
-    "VectorizedBackend",
-    "get_backend",
-    "VariableBatch",
-    "BlockSparseRowMatrix",
-    "KernelLaunchCounter",
-    "H2ApplyPlan",
-    "compile_apply_plan",
-    "ConstructionPlan",
-    # sketching interfaces
-    "SketchingOperator",
-    "DenseOperator",
-    "KernelMatVecOperator",
-    "H2Operator",
-    "LowRankOperator",
-    "SumOperator",
-    "EntryExtractor",
-    "DenseEntryExtractor",
-    "KernelEntryExtractor",
-    "H2EntryExtractor",
-    "LowRankEntryExtractor",
-    "SumEntryExtractor",
-    # hierarchical formats
-    "BasisTree",
-    "H2Matrix",
-    "HMatrix",
-    "HODLRMatrix",
-    "build_hodlr",
-    "hodlr_from_h2",
-    "build_hss",
-    "LinearOperator",
-    "ShiftedLinearOperator",
-    "as_linear_operator",
-    # solvers
-    "cg",
-    "gmres",
-    "bicgstab",
-    "KrylovResult",
-    "HODLRFactorization",
-    "HierarchicalPreconditioner",
     "MultifrontalSolver",
-    "FrontReport",
-    # core algorithm
-    "H2Constructor",
-    "ConstructionConfig",
-    "ConstructionResult",
-    "GeometryContext",
-    "recompress_h2",
-    # Gaussian processes
-    "GaussianProcess",
     "NotPositiveDefiniteError",
-    "hyperparameter_grid",
-    "nelder_mead",
-    # diagnostics
-    "construction_error",
-    "memory_report",
-    "phase_breakdown",
-    "convergence_table",
-    "residual_series",
+    "PairwiseKernel",
+    "ScaledKernel",
+    "SerialBackend",
+    "Session",
+    "ShiftedLinearOperator",
+    "SketchingOperator",
+    "SumEntryExtractor",
+    "SumKernel",
+    "SumOperator",
+    "VariableBatch",
+    "VectorizedBackend",
+    "WeakAdmissibility",
+    "WhiteNoiseKernel",
+    "__version__",
     "apply_report",
+    "as_linear_operator",
+    "available_conversions",
+    "backends",
+    "bicgstab",
+    "build_block_partition",
+    "build_hmatrix_aca",
+    "build_hodlr",
+    "build_hss",
+    "cg",
+    "compile_apply_plan",
+    "compress",
+    "construction_error",
+    "convergence_table",
+    "convert",
+    "estimate_relative_error",
+    "estimate_spectral_norm",
     "format_table",
-    "GPFitReport",
+    "get_backend",
+    "gmres",
     "gp_sweep_table",
+    "grid_points",
+    "hodlr_from_h2",
+    "hyperparameter_grid",
+    "memory_report",
+    "nelder_mead",
+    "phase_breakdown",
+    "plane_points",
+    "random_low_rank",
+    "random_sphere_points",
+    "recompress_h2",
+    "register_conversion",
+    "residual_series",
+    "row_id",
+    "uniform_cube_points",
 ]

@@ -1,0 +1,445 @@
+"""The fluent façade: ``compress`` one-liners and chained ``Session`` workflows.
+
+Before this module, the paper's pipeline (sketch → construct → apply/solve)
+needed eight lines of tree/partition/operator/extractor boilerplate before
+``construct()`` was callable.  The façade reduces the common cases to one
+call each:
+
+>>> import numpy as np, repro
+>>> points = repro.uniform_cube_points(512, seed=0)
+>>> h2 = repro.compress(points, repro.ExponentialKernel(0.2), tol=1e-6)
+>>> h2.shape
+(512, 512)
+
+and chains the full solve/GP workflows through :class:`Session`:
+
+>>> solve = (repro.Session(points)
+...          .compress(repro.ExponentialKernel(0.2), tol=1e-8)
+...          .factor(noise=1e-2)
+...          .solve(np.ones(512)))
+>>> bool(solve.converged)
+True
+
+Every returned operator implements the
+:class:`~repro.api.protocol.HierarchicalOperator` protocol, so the solvers,
+diagnostics and GP subsystem compose against the protocol instead of a
+specific class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.builder import ConstructionResult, H2Constructor
+from ..core.config import ConstructionConfig
+from ..core.context import GeometryContext
+from ..hmatrix.hmatrix import build_hmatrix_aca
+from ..hmatrix.hodlr import build_hodlr
+from ..kernels.base import KernelFunction
+from ..sketching.entry_extractor import (
+    DenseEntryExtractor,
+    EntryExtractor,
+    KernelEntryExtractor,
+)
+from ..sketching.operators import DenseOperator, KernelMatVecOperator, SketchingOperator
+from ..tree.admissibility import GeneralAdmissibility, WeakAdmissibility
+from ..tree.block_partition import BlockPartition, build_block_partition
+from ..tree.cluster_tree import ClusterTree
+from ..utils.rng import SeedLike
+from .conversion import convert
+from .policy import ExecutionPolicy
+from .protocol import HierarchicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..gp.regression import GaussianProcess
+    from ..solvers.hodlr_factor import HODLRFactorization
+    from ..solvers.krylov import KrylovResult
+
+#: Hierarchical formats :func:`compress` can target directly.
+FORMATS: Tuple[str, ...] = ("h2", "hss", "hodlr", "hmatrix")
+
+
+def _resolve_geometry(
+    points: Optional[np.ndarray],
+    fmt: str,
+    leaf_size: int,
+    eta: float,
+    admissibility: object | None,
+    tree: Optional[ClusterTree],
+    partition: Optional[BlockPartition],
+) -> Tuple[ClusterTree, Optional[BlockPartition]]:
+    """Tree + (optional) partition for the requested format."""
+    if partition is not None:
+        return partition.tree, partition
+    if tree is None:
+        if points is None:
+            raise ValueError(
+                "compress() needs points, a tree or a partition to define the geometry"
+            )
+        tree = ClusterTree.build(points, leaf_size=leaf_size)
+    if fmt == "hodlr":
+        return tree, None  # HODLR needs no block partition
+    if admissibility is None:
+        admissibility = (
+            WeakAdmissibility() if fmt == "hss" else GeneralAdmissibility(eta=eta)
+        )
+    return tree, build_block_partition(tree, admissibility)
+
+
+def _resolve_evaluators(
+    kernel: object,
+    tree: ClusterTree,
+    operator: Optional[SketchingOperator],
+    extractor: Optional[EntryExtractor],
+) -> Tuple[Optional[SketchingOperator], Optional[EntryExtractor]]:
+    """Operator/extractor pair from a kernel, a dense array, or overrides."""
+    if operator is not None and extractor is not None:
+        return operator, extractor
+    if isinstance(kernel, KernelFunction):
+        operator = operator or KernelMatVecOperator(kernel, tree.points)
+        extractor = extractor or KernelEntryExtractor(kernel, tree.points)
+        return operator, extractor
+    if isinstance(kernel, np.ndarray):
+        if kernel.ndim != 2 or kernel.shape[0] != kernel.shape[1]:
+            raise ValueError("a dense kernel matrix must be square and 2-D")
+        permuted = np.ascontiguousarray(
+            kernel[np.ix_(tree.perm, tree.perm)], dtype=np.float64
+        )
+        return operator or DenseOperator(permuted), extractor or DenseEntryExtractor(
+            permuted
+        )
+    if kernel is None:
+        raise ValueError(
+            "compress() needs a kernel (KernelFunction or dense array) or an "
+            "explicit operator/extractor pair"
+        )
+    raise TypeError(
+        f"cannot interpret {type(kernel).__name__} as a kernel; pass a "
+        "KernelFunction, a dense (n, n) array, or operator=/extractor= overrides"
+    )
+
+
+def compress(
+    points: Optional[np.ndarray] = None,
+    kernel: object = None,
+    *,
+    format: str = "h2",
+    tol: float = 1e-6,
+    leaf_size: int = 64,
+    eta: float = 0.7,
+    admissibility: object | None = None,
+    sample_block_size: int = 64,
+    adaptive: bool = True,
+    initial_samples: int | None = None,
+    max_samples: int | None = None,
+    max_rank: int | None = None,
+    seed: SeedLike = None,
+    policy: ExecutionPolicy | None = None,
+    tree: Optional[ClusterTree] = None,
+    partition: Optional[BlockPartition] = None,
+    operator: Optional[SketchingOperator] = None,
+    extractor: Optional[EntryExtractor] = None,
+    config: ConstructionConfig | None = None,
+    full_result: bool = False,
+) -> "HierarchicalOperator | ConstructionResult":
+    """Compress a kernel matrix into a hierarchical operator in one call.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` coordinates in the original ordering (may be omitted
+        when ``tree`` or ``partition`` is given).
+    kernel:
+        A :class:`~repro.kernels.base.KernelFunction`, a dense ``(n, n)``
+        array (original ordering), or omitted with explicit ``operator=`` /
+        ``extractor=`` overrides (cluster-tree permuted ordering, the expert
+        path used by the benchmark harness).
+    format:
+        ``"h2"`` (strong admissibility, the paper's constructor), ``"hss"``
+        (weak admissibility), ``"hodlr"`` (per-block ACA) or ``"hmatrix"``
+        (independent low-rank blocks, ACA).
+    tol:
+        Compression tolerance of the chosen constructor.
+    leaf_size, eta, admissibility:
+        Geometry knobs (ignored when ``tree``/``partition`` is given);
+        ``admissibility`` defaults to general admissibility at ``eta`` for
+        ``"h2"``/``"hmatrix"`` and weak admissibility for ``"hss"``.
+    sample_block_size, adaptive, initial_samples, max_samples, max_rank:
+        Sketching-constructor knobs (``max_rank`` also caps the ACA ranks of
+        ``"hodlr"``/``"hmatrix"``).
+    seed:
+        Seed of the sketching vectors (``"h2"``/``"hss"`` only).
+    policy:
+        :class:`~repro.api.policy.ExecutionPolicy` deciding backend,
+        construction path and launch-counter wiring; defaults to
+        ``ExecutionPolicy()`` (env-driven).
+    config:
+        Full :class:`~repro.core.config.ConstructionConfig` override; wins
+        over the individual knobs.
+    full_result:
+        Return the :class:`~repro.core.builder.ConstructionResult` (with
+        sampling/launch statistics) instead of just the operator
+        (``"h2"``/``"hss"`` only).
+
+    Returns
+    -------
+    HierarchicalOperator
+        The compressed operator (or the full ``ConstructionResult`` when
+        ``full_result=True``).
+    """
+    fmt = format.lower()
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {format!r}; available: {list(FORMATS)}")
+    policy = policy if policy is not None else ExecutionPolicy()
+    tree, partition = _resolve_geometry(
+        points, fmt, leaf_size, eta, admissibility, tree, partition
+    )
+    operator, extractor = _resolve_evaluators(kernel, tree, operator, extractor)
+
+    if fmt in ("h2", "hss"):
+        if config is None:
+            config = policy.construction_config(
+                tolerance=tol,
+                sample_block_size=sample_block_size,
+                adaptive=adaptive,
+                initial_samples=initial_samples,
+                max_samples=max_samples,
+                max_rank=max_rank,
+            )
+        result = H2Constructor(
+            partition, operator, extractor, config=config, seed=seed
+        ).construct()
+        result.matrix.apply_backend = policy.resolve_backend()
+        return result if full_result else result.matrix
+
+    if full_result:
+        raise ValueError(
+            "full_result=True is only available for the sketching formats "
+            "('h2'/'hss'); the ACA formats return the operator directly"
+        )
+    entries = extractor.extract
+    if fmt == "hodlr":
+        return build_hodlr(tree, entries, tol=tol, max_rank=max_rank)
+    return build_hmatrix_aca(partition, entries, tol=tol, max_rank=max_rank)
+
+
+class Session:
+    """Fluent geometry-reuse workflow over a fixed point set.
+
+    Wraps a :class:`~repro.core.context.GeometryContext` (tree, partition,
+    cached distances, frozen sample bank, compiled plans) behind chainable
+    steps::
+
+        sess = repro.Session(points, seed=0)
+        solve = sess.compress(kernel, tol=1e-8).factor(noise=1e-2).solve(b)
+        gp = sess.gp(kernel, noise=1e-2)           # shares the same geometry
+        results = sess.sweep([k1, k2, k3])         # hyperparameter sweep
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` coordinates in the original ordering.
+    leaf_size, admissibility, distance_cache, cache_limit_mb, seed:
+        Forwarded to :class:`~repro.core.context.GeometryContext`;
+        admissibility defaults to weak (the HSS/HODLR partition every
+        downstream factorization consumes).
+    policy:
+        :class:`~repro.api.policy.ExecutionPolicy` for every construction,
+        apply and solve of this session.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        *,
+        leaf_size: int = 64,
+        admissibility: object | None = None,
+        policy: ExecutionPolicy | None = None,
+        distance_cache: str = "auto",
+        cache_limit_mb: float = 600.0,
+        seed: SeedLike = 0,
+    ):
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self._points = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(points, dtype=np.float64))
+        )
+        self.context = GeometryContext(
+            self._points,
+            leaf_size=leaf_size,
+            admissibility=admissibility,
+            backend=self.policy.resolve_backend(),
+            distance_cache=distance_cache,
+            cache_limit_mb=cache_limit_mb,
+            seed=seed,
+            construction_path=self.policy.construction_path,
+        )
+        self._result: Optional[ConstructionResult] = None
+        self._operator: Optional[HierarchicalOperator] = None
+        self._factorization: Optional["HODLRFactorization"] = None
+        self._shift: float = 0.0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def points(self) -> np.ndarray:
+        """Training coordinates in the original ordering."""
+        return self._points
+
+    @property
+    def tree(self) -> ClusterTree:
+        return self.context.tree
+
+    @property
+    def partition(self) -> BlockPartition:
+        return self.context.partition
+
+    @property
+    def result(self) -> ConstructionResult:
+        """The most recent :meth:`compress` construction result."""
+        if self._result is None:
+            raise RuntimeError("call compress() first")
+        return self._result
+
+    @property
+    def operator(self) -> HierarchicalOperator:
+        """The most recent compressed operator."""
+        if self._operator is None:
+            raise RuntimeError("call compress() first")
+        return self._operator
+
+    @property
+    def factorization(self) -> "HODLRFactorization":
+        """The most recent :meth:`factor` factorization."""
+        if self._factorization is None:
+            raise RuntimeError("call factor() first")
+        return self._factorization
+
+    # ------------------------------------------------------------------ steps
+    def compress(
+        self,
+        kernel: KernelFunction,
+        tol: float = 1e-6,
+        format: str = "h2",
+        sample_block_size: int = 64,
+        **construct_kwargs: object,
+    ) -> "Session":
+        """Construct the hierarchical representation of ``K(kernel)``.
+
+        Re-uses every cached geometry ingredient of the session (tree,
+        partition, distances, frozen sample bank, plan skeletons), so
+        repeated calls across hyperparameters cost little more than the
+        kernel-value work.  ``format="hodlr"``/``"hmatrix"`` convert the
+        constructed matrix through the :func:`~repro.api.conversion.convert`
+        registry; ``"h2"``/``"hss"`` return it as constructed (the session's
+        admissibility decides which of the two it is).
+        """
+        fmt = format.lower()
+        if fmt not in FORMATS:
+            raise ValueError(f"unknown format {format!r}; available: {list(FORMATS)}")
+        if fmt == "hss" and not isinstance(
+            self.partition.admissibility, WeakAdmissibility
+        ):
+            raise ValueError(
+                "format='hss' requires a weak-admissibility session; this "
+                "session was built with "
+                f"{type(self.partition.admissibility).__name__}"
+            )
+        result = self.context.construct(
+            kernel,
+            tolerance=tol,
+            sample_block_size=sample_block_size,
+            **construct_kwargs,
+        )
+        self._result = result
+        operator: HierarchicalOperator = result.matrix
+        if fmt == "hodlr":
+            operator = convert(operator, "hodlr")
+        elif fmt == "hmatrix":
+            operator = convert(operator, "hmatrix", tol=tol)
+        self._operator = operator
+        # The previous factorization (and its noise shift) described the old
+        # operator; solve() must not silently reuse them.
+        self._factorization = None
+        self._shift = 0.0
+        return self
+
+    def sweep(
+        self,
+        kernels: Sequence[KernelFunction],
+        tol: float = 1e-6,
+        **construct_kwargs: object,
+    ) -> List[ConstructionResult]:
+        """Construct every kernel of a hyperparameter sweep over the shared geometry."""
+        results = []
+        for kernel in kernels:
+            self.compress(kernel, tol=tol, **construct_kwargs)
+            results.append(self.result)
+        return results
+
+    def factor(self, noise: float = 0.0) -> "Session":
+        """Factor the compressed operator (plus a ``noise`` diagonal shift).
+
+        Flattens the weak-admissibility construction to HODLR form and runs
+        the recursive Woodbury factorization; requires a weak-admissibility
+        session (the default).
+        """
+        from ..solvers.hodlr_factor import HODLRFactorization
+        from ..hmatrix.hodlr import HODLRMatrix
+
+        operator = self.operator
+        hodlr = (
+            operator
+            if isinstance(operator, HODLRMatrix)
+            else convert(operator, "hodlr")
+        )
+        self._factorization = HODLRFactorization(hodlr, shift=noise)
+        self._shift = float(noise)
+        return self
+
+    def solve(
+        self,
+        b: np.ndarray,
+        tol: float = 1e-10,
+        maxiter: int | None = None,
+        method: str = "auto",
+    ) -> "KrylovResult":
+        """Solve ``(K + noise I) x = b`` against the compressed operator.
+
+        ``method="auto"`` runs CG on the compiled batched apply,
+        preconditioned by the :meth:`factor` factorization when one exists;
+        ``"cg"``/``"gmres"``/``"bicgstab"`` select the Krylov method
+        explicitly.  The ``noise`` shift of the last :meth:`factor` call is
+        applied to the operator, so factor+solve agree on the system.
+        """
+        from ..hmatrix.linear_operator import as_linear_operator
+        from ..solvers import krylov
+
+        methods = {"auto": krylov.cg, "cg": krylov.cg, "gmres": krylov.gmres,
+                   "bicgstab": krylov.bicgstab}
+        if method not in methods:
+            raise ValueError(
+                f"unknown method {method!r}; available: {sorted(methods)}"
+            )
+        operator = as_linear_operator(self.operator, shift=self._shift)
+        preconditioner = self._factorization
+        return methods[method](
+            operator, b, tol=tol, maxiter=maxiter, M=preconditioner
+        )
+
+    def gp(
+        self, kernel: KernelFunction, noise: float = 1e-2, **gp_kwargs: object
+    ) -> "GaussianProcess":
+        """A :class:`~repro.gp.regression.GaussianProcess` sharing this geometry."""
+        from ..gp.regression import GaussianProcess
+
+        return GaussianProcess(
+            self._points, kernel, noise=noise, context=self.context, **gp_kwargs
+        )
+
+    # ------------------------------------------------------------ diagnostics
+    def describe(self) -> str:
+        return f"Session({self.context.describe()})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return self.describe()

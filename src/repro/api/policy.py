@@ -1,0 +1,141 @@
+"""Execution policy: one object deciding *how* the library executes.
+
+Before this module, execution knobs were scattered — the batched backend was
+chosen per constructor config, per matrix and per call; the construction
+sweep (packed vs loop) came from ``ConstructionConfig.construction_path`` or
+the ``REPRO_CONSTRUCT_PATH`` environment variable; launch counters were wired
+ad hoc.  :class:`ExecutionPolicy` consolidates all of it behind the named
+backend registry (:mod:`repro.backends`) and threads through the façade
+(:func:`repro.api.compress`, :class:`repro.api.Session`), the constructor,
+the compiled apply plans, the solvers and the GP subsystem.
+
+Environment overrides (read when a knob is left at ``"auto"``):
+
+``REPRO_BACKEND``
+    Backend name resolved by :func:`repro.backends.get` (default
+    ``vectorized``).
+``REPRO_CONSTRUCT_PATH``
+    ``packed`` (compiled level-wise sweep, default) or ``loop`` (per-node
+    reference sweep).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..batched.backend import BatchedBackend
+    from ..batched.counters import KernelLaunchCounter
+    from ..core.config import ConstructionConfig
+
+
+@dataclass
+class ExecutionPolicy:
+    """Backend selection, construction path and launch-counter wiring.
+
+    Attributes
+    ----------
+    backend:
+        Name from the :mod:`repro.backends` registry (``"serial"``,
+        ``"vectorized"``, anything registered via
+        :func:`repro.backends.register`) or an existing
+        :class:`~repro.batched.backend.BatchedBackend` instance.  ``"auto"``
+        (default) follows ``REPRO_BACKEND`` and falls back to
+        ``vectorized``.
+    construction_path:
+        ``"packed"`` / ``"loop"`` / ``"auto"`` (default: follow
+        ``REPRO_CONSTRUCT_PATH``, falling back to ``packed``).
+    counter:
+        Optional shared :class:`~repro.batched.counters.KernelLaunchCounter`.
+        When given, every backend this policy resolves accumulates its
+        launches there, so one counter spans construction, applies and solves
+        across all components sharing the policy.  Only combinable with a
+        backend *name* — an existing backend instance already owns a counter,
+        so passing both raises :class:`ValueError` at resolution time
+        (silently dropping the shared counter would break the contract
+        above).
+    share_backend:
+        When ``True`` (default), :meth:`resolve_backend` resolves the name
+        once and returns the *same* instance on every call, so launch
+        counters accumulate per policy even without an explicit ``counter``.
+    """
+
+    backend: "Union[str, BatchedBackend]" = "auto"
+    construction_path: str = "auto"
+    counter: "Optional[KernelLaunchCounter]" = None
+    share_backend: bool = True
+    _resolved: "Optional[BatchedBackend]" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.construction_path not in ("auto", "packed", "loop"):
+            raise ValueError(
+                "construction_path must be 'auto', 'packed' or 'loop'"
+            )
+
+    # ------------------------------------------------------------- resolution
+    def resolve_backend(self) -> "BatchedBackend":
+        """The backend instance this policy executes on."""
+        from ..batched.backend import BatchedBackend, get_backend
+
+        if self._resolved is not None:
+            return self._resolved
+        if self.counter is not None and isinstance(self.backend, BatchedBackend):
+            raise ValueError(
+                "ExecutionPolicy(counter=...) requires a backend name; the "
+                "supplied backend instance keeps its own counter (use "
+                "backend.counter instead)"
+            )
+        backend = get_backend(self.backend, counter=self.counter)
+        if self.share_backend:
+            self._resolved = backend
+        return backend
+
+    def resolve_construction_path(self) -> str:
+        """``"packed"`` or ``"loop"`` after applying the env override."""
+        mode = self.construction_path
+        if mode == "auto":
+            mode = os.environ.get("REPRO_CONSTRUCT_PATH", "packed").lower()
+        if mode not in ("packed", "loop"):
+            raise ValueError(
+                f"unknown construction path {mode!r}; use 'packed' or 'loop'"
+            )
+        return mode
+
+    # ------------------------------------------------------------ composition
+    def construction_config(self, **overrides: object) -> "ConstructionConfig":
+        """A :class:`~repro.core.config.ConstructionConfig` under this policy.
+
+        Keyword arguments mirror the config fields (``tolerance``,
+        ``sample_block_size``, ...); the policy fills ``backend`` and
+        ``construction_path`` unless explicitly overridden.
+        """
+        from ..core.config import ConstructionConfig
+
+        overrides.setdefault("backend", self.resolve_backend())
+        overrides.setdefault("construction_path", self.construction_path)
+        return ConstructionConfig(**overrides)  # type: ignore[arg-type]
+
+    def with_backend(self, backend: "Union[str, BatchedBackend]") -> "ExecutionPolicy":
+        """A copy of this policy on a different backend."""
+        return replace(self, backend=backend)
+
+    @classmethod
+    def from_env(cls, **overrides: object) -> "ExecutionPolicy":
+        """Policy snapshot of the current ``REPRO_*`` environment."""
+        values: dict = {
+            "backend": os.environ.get("REPRO_BACKEND", "vectorized"),
+            "construction_path": os.environ.get(
+                "REPRO_CONSTRUCT_PATH", "packed"
+            ).lower(),
+        }
+        values.update(overrides)
+        return cls(**values)
+
+    # ------------------------------------------------------------ diagnostics
+    def launch_counter(self) -> "KernelLaunchCounter":
+        """The launch counter of the resolved backend."""
+        return self.resolve_backend().counter

@@ -28,9 +28,10 @@ also records one "kernel launch" per group in the attached
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from collections import defaultdict
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -411,26 +412,72 @@ class VectorizedBackend(BatchedBackend):
         return out
 
 
-_BACKENDS = {
-    "serial": SerialBackend,
-    "cpu": SerialBackend,
-    "vectorized": VectorizedBackend,
-    "batched": VectorizedBackend,
-    "gpu": VectorizedBackend,
-}
+#: Named backend registry.  Maps a lower-case name to a factory accepting a
+#: ``counter=`` keyword (usually the backend class itself).  Extend it through
+#: :func:`register_backend` / :func:`repro.backends.register`.
+_BACKENDS: Dict[str, type] = {}
+
+
+def register_backend(
+    name: str,
+    factory: type | "Callable[..., BatchedBackend]",
+    aliases: Sequence[str] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a named batched backend.
+
+    ``factory`` is a :class:`BatchedBackend` subclass (or any callable
+    accepting a ``counter=`` keyword and returning a backend instance); after
+    registration the name resolves everywhere a backend name is accepted —
+    :func:`get_backend`, :class:`~repro.api.policy.ExecutionPolicy`,
+    ``ConstructionConfig(backend=...)``, ``H2Matrix.matvec(backend=...)``.
+
+    Names are case-insensitive.  Re-registering an existing name raises
+    :class:`ValueError` unless ``overwrite=True`` (the built-in names can be
+    shadowed deliberately, e.g. to route ``"vectorized"`` through an
+    instrumented backend in a test).
+    """
+    keys = [key.lower() for key in (name, *aliases)]
+    if not overwrite:
+        # Validate every key before mutating so a conflicting alias does not
+        # leave a half-registered backend behind.
+        for key in keys:
+            if key in _BACKENDS:
+                raise ValueError(
+                    f"backend {key!r} is already registered; pass "
+                    "overwrite=True to replace it"
+                )
+    for key in keys:
+        _BACKENDS[key] = factory  # type: ignore[assignment]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names currently registered (including aliases)."""
+    return tuple(sorted(_BACKENDS))
+
+
+register_backend("serial", SerialBackend, aliases=("cpu",))
+register_backend("vectorized", VectorizedBackend, aliases=("batched", "gpu"))
 
 
 def get_backend(
-    name: str | BatchedBackend = "vectorized",
+    name: str | BatchedBackend | None = "auto",
     counter: KernelLaunchCounter | None = None,
 ) -> BatchedBackend:
-    """Return a backend instance from a name (``serial``/``cpu``/``vectorized``/``gpu``).
+    """Return a backend instance from a registered name.
+
+    Built-in names: ``serial``/``cpu`` and ``vectorized``/``batched``/``gpu``;
+    :func:`register_backend` adds more.  ``"auto"`` (or ``None``) follows the
+    ``REPRO_BACKEND`` environment variable and falls back to ``vectorized`` —
+    the single env-override point the execution policies consolidate on.
 
     Passing an existing backend returns it unchanged so functions can accept
     either a name or an instance.
     """
     if isinstance(name, BatchedBackend):
         return name
+    if name is None or name.lower() == "auto":
+        name = os.environ.get("REPRO_BACKEND", "vectorized")
     key = name.lower()
     if key not in _BACKENDS:
         raise ValueError(

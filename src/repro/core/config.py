@@ -42,9 +42,15 @@ class ConstructionConfig:
         norm as an absolute pivot threshold (the paper's global-threshold
         variant).
     backend:
-        Batched execution backend: ``"serial"`` (CPU reference),
-        ``"vectorized"`` (shape-grouped batched execution, the GPU analogue)
-        or an existing :class:`~repro.batched.backend.BatchedBackend` instance.
+        Batched execution backend: a name from the :mod:`repro.backends`
+        registry (``"serial"`` — CPU reference; ``"vectorized"`` —
+        shape-grouped batched execution, the GPU analogue; plus anything
+        registered via :func:`repro.backends.register`) or an existing
+        :class:`~repro.batched.backend.BatchedBackend` instance.  The
+        default ``"auto"`` follows the ``REPRO_BACKEND`` environment
+        variable, falling back to ``"vectorized"`` — use an
+        :class:`~repro.api.policy.ExecutionPolicy` to set backend and
+        construction path together.
     norm_estimation_iterations:
         Power-method iterations used to estimate the matrix norm that converts
         the relative tolerance into absolute thresholds.
@@ -74,7 +80,7 @@ class ConstructionConfig:
     max_samples: int | None = None
     max_rank: int | None = None
     id_tolerance_mode: str = "relative"
-    backend: Union[str, BatchedBackend] = "vectorized"
+    backend: Union[str, BatchedBackend] = "auto"
     norm_estimation_iterations: int = 6
     norm_estimate: float | None = None
     convergence_safety_factor: float = 1.0

@@ -244,6 +244,12 @@ class GeometryContext:
         Byte budget of the distance cache.
     seed:
         Seed of the frozen sample bank (and of the norm-estimation probes).
+    construction_path:
+        Which construction sweep the context's default configs use
+        (``"packed"``/``"loop"``/``"auto"``; see
+        :class:`~repro.core.config.ConstructionConfig`).  An
+        :class:`~repro.api.policy.ExecutionPolicy` threads its path choice
+        through here.
     """
 
     def __init__(
@@ -255,9 +261,11 @@ class GeometryContext:
         distance_cache: str = "auto",
         cache_limit_mb: float = 600.0,
         seed: SeedLike = 0,
+        construction_path: str = "auto",
     ):
         start = time.perf_counter()
         self.backend = backend
+        self.construction_path = construction_path
         rng = as_generator(seed)
 
         self.tree: ClusterTree = ClusterTree.build(points, leaf_size=leaf_size)
@@ -374,6 +382,7 @@ class GeometryContext:
                 tolerance=tolerance,
                 sample_block_size=sample_block_size,
                 backend=self.backend,
+                construction_path=self.construction_path,
             )
         if warm_start and self._warm_samples is not None:
             initial = max(config.effective_initial_samples, self._warm_samples)

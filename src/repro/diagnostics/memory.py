@@ -36,9 +36,10 @@ class MemoryReport:
 def memory_report(matrix) -> MemoryReport:
     """Build a :class:`MemoryReport` from any object exposing ``memory_bytes()``.
 
-    Works for :class:`~repro.hmatrix.h2matrix.H2Matrix`,
-    :class:`~repro.hmatrix.hodlr.HODLRMatrix` and
-    :class:`~repro.hmatrix.hmatrix.HMatrix`.
+    Works for every :class:`~repro.api.protocol.HierarchicalOperator`; the
+    protocol guarantees the unified ``low_rank``/``dense``/``total`` keys, so
+    cross-format comparisons (Fig. 6) can read ``component_mb("low_rank")``
+    regardless of which format produced the operator.
     """
     components = matrix.memory_bytes()
     if not isinstance(components, dict):

@@ -31,9 +31,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.policy import ExecutionPolicy
 from ..core.context import GeometryContext
 from ..diagnostics.gp_report import GPFitReport
-from ..hmatrix.hodlr import hodlr_from_h2
+from ..hmatrix.hodlr import _hodlr_from_h2
 from ..hmatrix.linear_operator import as_linear_operator
 from ..kernels.base import KernelFunction, PairwiseKernel
 from ..solvers.hodlr_factor import HODLRFactorization
@@ -98,6 +99,10 @@ class GaussianProcess:
         :class:`~repro.core.context.GeometryContext` (ignored when an explicit
         ``context`` is passed).  The context must use weak admissibility — the
         HODLR factorization consumes its output directly.
+    policy:
+        Optional :class:`~repro.api.policy.ExecutionPolicy` consolidating
+        backend and construction-path selection (wins over ``backend`` for
+        the internally created context).
     solve_tol:
         Relative residual tolerance of the preconditioned CG solves.
     max_cg_iterations:
@@ -112,7 +117,8 @@ class GaussianProcess:
         *,
         tolerance: float = 1e-8,
         leaf_size: int = 64,
-        backend: str = "vectorized",
+        backend: str = "auto",
+        policy: "ExecutionPolicy | None" = None,
         solve_tol: float = 1e-10,
         max_cg_iterations: int | None = None,
         seed: SeedLike = 0,
@@ -128,13 +134,19 @@ class GaussianProcess:
         self.tolerance = float(tolerance)
         self.solve_tol = float(solve_tol)
         self.max_cg_iterations = max_cg_iterations
-        self.context = (
-            context
-            if context is not None
-            else GeometryContext(
-                self.train_points, leaf_size=leaf_size, backend=backend, seed=seed
+        if context is None:
+            construction_path = "auto"
+            if policy is not None:
+                backend = policy.resolve_backend()
+                construction_path = policy.construction_path
+            context = GeometryContext(
+                self.train_points,
+                leaf_size=leaf_size,
+                backend=backend,
+                seed=seed,
+                construction_path=construction_path,
             )
-        )
+        self.context = context
         if self.context.num_points != self.train_points.shape[0]:
             raise ValueError(
                 "context was built over a different number of points "
@@ -200,7 +212,7 @@ class GaussianProcess:
             hodlr = self._hodlr_cache[1]
         else:
             try:
-                hodlr = hodlr_from_h2(matrix)
+                hodlr = _hodlr_from_h2(matrix)
             except ValueError as exc:
                 raise ValueError(
                     "GaussianProcess requires a weak-admissibility (HSS) context "

@@ -1,9 +1,16 @@
-"""Hierarchical matrix formats: H2 (nested bases), HODLR, HSS and H (non-nested)."""
+"""Hierarchical matrix formats: H2 (nested bases), HODLR, HSS and H (non-nested).
+
+Every format implements the shared
+:class:`~repro.api.protocol.HierarchicalOperator` protocol (uniform
+``matvec``/``matmat``/``rmatvec``/``rmatmat``/``to_dense``/``memory_bytes``/
+``statistics`` with ``permuted=`` semantics); move between formats through
+:func:`repro.api.conversion.convert`.
+"""
 
 from .aca import aca_low_rank
 from .basis_tree import BasisTree
 from .h2matrix import H2Matrix
-from .hmatrix import HMatrix
+from .hmatrix import HMatrix, build_hmatrix_aca
 from .hodlr import HODLRMatrix, build_hodlr, hodlr_from_h2
 from .hss import build_hss
 from .linear_operator import LinearOperator, ShiftedLinearOperator, as_linear_operator
@@ -13,6 +20,7 @@ __all__ = [
     "H2Matrix",
     "HMatrix",
     "HODLRMatrix",
+    "build_hmatrix_aca",
     "build_hodlr",
     "hodlr_from_h2",
     "build_hss",

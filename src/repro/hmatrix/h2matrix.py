@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import HierarchicalOperatorMixin
 from ..tree.block_partition import BlockPartition
 from ..tree.cluster_tree import ClusterTree
 from .basis_tree import BasisTree
@@ -47,8 +48,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 @dataclass
-class H2Matrix:
-    """A (symmetric) H2 matrix over a cluster tree and block partition."""
+class H2Matrix(HierarchicalOperatorMixin):
+    """A (symmetric) H2 matrix over a cluster tree and block partition.
+
+    Implements the :class:`~repro.api.protocol.HierarchicalOperator`
+    protocol; the derived applies (``matvec``/``matmat``/``rmatvec``/
+    ``rmatmat``/``@``) come from the shared mixin and accept a per-call
+    ``backend=`` keyword routed to the compiled batched plan.
+    """
+
+    format_name = "h2"
 
     tree: ClusterTree
     partition: BlockPartition
@@ -60,10 +69,12 @@ class H2Matrix:
     #: Whether the matrix is symmetric (``V_t = U_t``); the constructor in this
     #: reproduction always produces symmetric representations, as in the paper.
     symmetric: bool = True
-    #: Backend executing the compiled apply plan: a name (``"serial"`` /
-    #: ``"vectorized"``) or a :class:`~repro.batched.backend.BatchedBackend`
-    #: instance.  ``None`` resolves to a fresh vectorized backend on first use;
-    #: the resolved instance is kept so launch counters accumulate per matrix.
+    #: Backend executing the compiled apply plan: a name from the
+    #: :mod:`repro.backends` registry or a
+    #: :class:`~repro.batched.backend.BatchedBackend` instance.  ``None``
+    #: resolves through ``"auto"`` (the ``REPRO_BACKEND`` environment
+    #: variable, falling back to vectorized) on first use; the resolved
+    #: instance is kept so launch counters accumulate per matrix.
     apply_backend: "BatchedBackend | str | None" = None
     _plan: "Optional[H2ApplyPlan]" = field(
         default=None, init=False, repr=False, compare=False
@@ -74,10 +85,6 @@ class H2Matrix:
     def shape(self) -> Tuple[int, int]:
         n = self.tree.num_points
         return (n, n)
-
-    @property
-    def num_rows(self) -> int:
-        return self.tree.num_points
 
     def rank_range(self) -> Tuple[int, int]:
         return self.basis.rank_range()
@@ -118,85 +125,26 @@ class H2Matrix:
         if backend is not None:
             return get_backend(backend)
         if self.apply_backend is None or isinstance(self.apply_backend, str):
-            self.apply_backend = get_backend(self.apply_backend or "vectorized")
+            self.apply_backend = get_backend(self.apply_backend or "auto")
         return self.apply_backend
 
-    def _apply(
+    def _apply_permuted(
         self,
         x: np.ndarray,
-        permuted: bool,
-        transpose: bool,
-        backend: "BatchedBackend | str | None",
-    ) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        single = x.ndim == 1
-        if single:
-            x = x[:, None]
-        if x.shape[0] != self.num_rows:
-            raise ValueError(
-                f"dimension mismatch: matrix has {self.num_rows} rows, x has {x.shape[0]}"
-            )
-        xp = x if permuted else x[self.tree.perm]
-        yp = self.apply_plan().execute(
-            xp, backend=self._resolve_backend(backend), transpose=transpose
-        )
-        y = yp if permuted else yp[self.tree.iperm]
-        return y[:, 0] if single else y
-
-    def matvec(
-        self,
-        x: np.ndarray,
-        permuted: bool = False,
+        transpose: bool = False,
         backend: "BatchedBackend | str | None" = None,
     ) -> np.ndarray:
-        """Multiply by a vector or block of vectors (compiled batched apply).
+        """Core apply of the :class:`~repro.api.protocol.HierarchicalOperator`
+        protocol: execute the compiled batched plan on a permuted 2-D block.
 
-        Parameters
-        ----------
-        x:
-            Array of shape ``(n,)`` or ``(n, k)``.
-        permuted:
-            When ``True``, ``x`` is already in the cluster-tree ordering and the
-            result is returned in that ordering (used internally by the
-            construction); otherwise the original point ordering is used.
-        backend:
-            Batched backend for this call only; defaults to the matrix-level
-            :attr:`apply_backend`.
+        The public ``matvec``/``matmat``/``rmatvec``/``rmatmat`` derive from
+        this through the shared mixin; their optional ``backend=`` keyword
+        selects the batched backend for that call only (defaulting to the
+        matrix-level :attr:`apply_backend`).
         """
-        return self._apply(x, permuted=permuted, transpose=False, backend=backend)
-
-    def matmat(
-        self,
-        x: np.ndarray,
-        permuted: bool = False,
-        backend: "BatchedBackend | str | None" = None,
-    ) -> np.ndarray:
-        """Multiply by a block of vectors ``(n, k)`` in one batched apply."""
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim != 2:
-            raise ValueError(f"matmat expects a 2-D block, got shape {x.shape}")
-        return self._apply(x, permuted=permuted, transpose=False, backend=backend)
-
-    def rmatvec(
-        self,
-        x: np.ndarray,
-        permuted: bool = False,
-        backend: "BatchedBackend | str | None" = None,
-    ) -> np.ndarray:
-        """Transpose apply ``A^T x`` (exact, whether or not the data is symmetric)."""
-        return self._apply(x, permuted=permuted, transpose=True, backend=backend)
-
-    def rmatmat(
-        self,
-        x: np.ndarray,
-        permuted: bool = False,
-        backend: "BatchedBackend | str | None" = None,
-    ) -> np.ndarray:
-        """Transpose apply to a block of vectors, ``A^T X``."""
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim != 2:
-            raise ValueError(f"rmatmat expects a 2-D block, got shape {x.shape}")
-        return self._apply(x, permuted=permuted, transpose=True, backend=backend)
+        return self.apply_plan().execute(
+            x, backend=self._resolve_backend(backend), transpose=transpose
+        )
 
     def matvec_loop(self, x: np.ndarray, permuted: bool = False) -> np.ndarray:
         """Reference per-node loop apply (the pre-batched implementation).
@@ -217,9 +165,6 @@ class H2Matrix:
         yp = self._matvec_permuted(xp)
         y = yp if permuted else yp[self.tree.iperm]
         return y[:, 0] if single else y
-
-    def __matmul__(self, x: np.ndarray) -> np.ndarray:
-        return self.matvec(x)
 
     def _matvec_permuted(self, x: np.ndarray) -> np.ndarray:
         tree = self.tree
@@ -388,31 +333,22 @@ class H2Matrix:
         return dense[np.ix_(self.tree.iperm, self.tree.iperm)]
 
     # ----------------------------------------------------------------- memory
-    def memory_bytes(self) -> Dict[str, int]:
-        """Memory footprint in bytes split by component (Fig. 6)."""
-        basis_bytes = self.basis.memory_bytes()
-        coupling_bytes = int(sum(b.nbytes for b in self.coupling.values()))
-        dense_bytes = int(sum(d.nbytes for d in self.dense.values()))
+    def _memory_components(self) -> Dict[str, int]:
+        """Byte counts per component (Fig. 6); the mixin adds the unified
+        ``low_rank`` (= basis + coupling) / ``dense`` / ``total`` keys."""
         return {
-            "basis": basis_bytes,
-            "coupling": coupling_bytes,
-            "dense": dense_bytes,
-            "total": basis_bytes + coupling_bytes + dense_bytes,
+            "basis": self.basis.memory_bytes(),
+            "coupling": int(sum(b.nbytes for b in self.coupling.values())),
+            "dense": int(sum(d.nbytes for d in self.dense.values())),
         }
 
-    def total_memory_mb(self) -> float:
-        return self.memory_bytes()["total"] / (1024.0 * 1024.0)
-
     # ------------------------------------------------------------- statistics
-    def statistics(self) -> Dict[str, object]:
-        lo, hi = self.rank_range()
+    def _block_counts(self) -> Tuple[int, int]:
+        return (len(self.coupling), len(self.dense))
+
+    def _extra_statistics(self) -> Dict[str, object]:
         return {
-            "n": self.num_rows,
-            "depth": self.tree.depth,
-            "rank_min": lo,
-            "rank_max": hi,
+            # Legacy alias of the unified ``num_low_rank_blocks`` key.
             "num_coupling_blocks": len(self.coupling),
-            "num_dense_blocks": len(self.dense),
-            "memory_mb": self.total_memory_mb(),
             "sparsity_constant": self.partition.sparsity_constant(),
         }

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from ..api.protocol import HierarchicalOperatorMixin
 from ..linalg.low_rank import LowRankMatrix
 from ..tree.block_partition import BlockPartition
 from ..tree.cluster_tree import ClusterTree
@@ -24,8 +25,16 @@ EntryFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
-class HMatrix:
-    """An H matrix over a block partition (permuted ordering)."""
+class HMatrix(HierarchicalOperatorMixin):
+    """An H matrix over a block partition (permuted ordering).
+
+    Implements the :class:`~repro.api.protocol.HierarchicalOperator`
+    protocol; the derived applies (including the exact transpose
+    ``rmatvec``/``rmatmat`` and the block-RHS ``matmat``) come from the
+    shared mixin.
+    """
+
+    format_name = "hmatrix"
 
     tree: ClusterTree
     partition: BlockPartition
@@ -39,23 +48,23 @@ class HMatrix:
         n = self.tree.num_points
         return (n, n)
 
-    def matvec(self, x: np.ndarray, permuted: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        single = x.ndim == 1
-        if single:
-            x = x[:, None]
-        xp = x if permuted else x[self.tree.perm]
-        yp = np.zeros_like(xp)
+    def _apply_permuted(self, x: np.ndarray, transpose: bool = False) -> np.ndarray:
+        yp = np.zeros_like(x)
         for (s, t), lr in self.low_rank.items():
             rows = slice(self.tree.starts[s], self.tree.ends[s])
             cols = slice(self.tree.starts[t], self.tree.ends[t])
-            yp[rows] += lr.matvec(xp[cols])
+            if transpose:
+                yp[cols] += lr.rmatvec(x[rows])
+            else:
+                yp[rows] += lr.matvec(x[cols])
         for (s, t), block in self.dense.items():
             rows = slice(self.tree.starts[s], self.tree.ends[s])
             cols = slice(self.tree.starts[t], self.tree.ends[t])
-            yp[rows] += block @ xp[cols]
-        y = yp if permuted else yp[self.tree.iperm]
-        return y[:, 0] if single else y
+            if transpose:
+                yp[cols] += block.T @ x[rows]
+            else:
+                yp[rows] += block @ x[cols]
+        return yp
 
     def to_dense(self, permuted: bool = False) -> np.ndarray:
         n = self.tree.num_points
@@ -74,12 +83,13 @@ class HMatrix:
             return dense
         return dense[np.ix_(self.tree.iperm, self.tree.iperm)]
 
-    def memory_bytes(self) -> Dict[str, int]:
-        low_rank = int(
-            sum(lr.left.nbytes + lr.right.nbytes for lr in self.low_rank.values())
-        )
-        dense = int(sum(d.nbytes for d in self.dense.values()))
-        return {"low_rank": low_rank, "dense": dense, "total": low_rank + dense}
+    def _memory_components(self) -> Dict[str, int]:
+        return {
+            "low_rank": int(
+                sum(lr.left.nbytes + lr.right.nbytes for lr in self.low_rank.values())
+            ),
+            "dense": int(sum(d.nbytes for d in self.dense.values())),
+        }
 
     def rank_range(self) -> Tuple[int, int]:
         ranks = [lr.rank for lr in self.low_rank.values()]
@@ -87,16 +97,11 @@ class HMatrix:
             return (0, 0)
         return (int(min(ranks)), int(max(ranks)))
 
-    def statistics(self) -> Dict[str, object]:
-        lo, hi = self.rank_range()
-        return {
-            "n": self.tree.num_points,
-            "rank_min": lo,
-            "rank_max": hi,
-            "memory_mb": self.memory_bytes()["total"] / (1024.0**2),
-            "num_low_rank_blocks": len(self.low_rank),
-            "num_dense_blocks": len(self.dense),
-        }
+    def _block_counts(self) -> Tuple[int, int]:
+        return (len(self.low_rank), len(self.dense))
+
+    def _extra_statistics(self) -> Dict[str, object]:
+        return {"sparsity_constant": self.partition.sparsity_constant()}
 
 
 def build_hmatrix_aca(

@@ -16,8 +16,10 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from ..api.protocol import HierarchicalOperatorMixin
 from ..linalg.low_rank import LowRankMatrix
 from ..tree.cluster_tree import ClusterTree
+from ..utils.deprecation import deprecated_entry_point
 from .aca import aca_from_entry_function
 from .h2matrix import H2Matrix
 
@@ -25,8 +27,16 @@ EntryFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
-class HODLRMatrix:
-    """A HODLR matrix over a cluster tree (permuted ordering)."""
+class HODLRMatrix(HierarchicalOperatorMixin):
+    """A HODLR matrix over a cluster tree (permuted ordering).
+
+    Implements the :class:`~repro.api.protocol.HierarchicalOperator`
+    protocol; the derived applies (including the exact transpose
+    ``rmatvec``/``rmatmat`` and the block-RHS ``matmat``) come from the
+    shared mixin.
+    """
+
+    format_name = "hodlr"
 
     tree: ClusterTree
     #: ``off_diagonal[(s, t)]`` holds the low-rank factorization of sibling block (s, t).
@@ -39,23 +49,19 @@ class HODLRMatrix:
         n = self.tree.num_points
         return (n, n)
 
-    def matvec(self, x: np.ndarray, permuted: bool = False) -> np.ndarray:
-        """Multiply by a vector or block of vectors."""
-        x = np.asarray(x, dtype=np.float64)
-        single = x.ndim == 1
-        if single:
-            x = x[:, None]
-        xp = x if permuted else x[self.tree.perm]
-        yp = np.zeros_like(xp)
+    def _apply_permuted(self, x: np.ndarray, transpose: bool = False) -> np.ndarray:
+        yp = np.zeros_like(x)
         for (s, t), lr in self.off_diagonal.items():
             rows = slice(self.tree.starts[s], self.tree.ends[s])
             cols = slice(self.tree.starts[t], self.tree.ends[t])
-            yp[rows] += lr.matvec(xp[cols])
+            if transpose:
+                yp[cols] += lr.rmatvec(x[rows])
+            else:
+                yp[rows] += lr.matvec(x[cols])
         for s, block in self.diagonal.items():
             rows = slice(self.tree.starts[s], self.tree.ends[s])
-            yp[rows] += block @ xp[rows]
-        y = yp if permuted else yp[self.tree.iperm]
-        return y[:, 0] if single else y
+            yp[rows] += (block.T if transpose else block) @ x[rows]
+        return yp
 
     def to_dense(self, permuted: bool = False) -> np.ndarray:
         n = self.tree.num_points
@@ -74,12 +80,13 @@ class HODLRMatrix:
             return dense
         return dense[np.ix_(self.tree.iperm, self.tree.iperm)]
 
-    def memory_bytes(self) -> Dict[str, int]:
-        low_rank = int(
-            sum(lr.left.nbytes + lr.right.nbytes for lr in self.off_diagonal.values())
-        )
-        dense = int(sum(d.nbytes for d in self.diagonal.values()))
-        return {"low_rank": low_rank, "dense": dense, "total": low_rank + dense}
+    def _memory_components(self) -> Dict[str, int]:
+        return {
+            "low_rank": int(
+                sum(lr.left.nbytes + lr.right.nbytes for lr in self.off_diagonal.values())
+            ),
+            "dense": int(sum(d.nbytes for d in self.diagonal.values())),
+        }
 
     def rank_range(self) -> Tuple[int, int]:
         ranks = [lr.rank for lr in self.off_diagonal.values()]
@@ -87,15 +94,8 @@ class HODLRMatrix:
             return (0, 0)
         return (int(min(ranks)), int(max(ranks)))
 
-    def statistics(self) -> Dict[str, object]:
-        lo, hi = self.rank_range()
-        return {
-            "n": self.tree.num_points,
-            "rank_min": lo,
-            "rank_max": hi,
-            "memory_mb": self.memory_bytes()["total"] / (1024.0**2),
-            "num_low_rank_blocks": len(self.off_diagonal),
-        }
+    def _block_counts(self) -> Tuple[int, int]:
+        return (len(self.off_diagonal), len(self.diagonal))
 
 
 def build_hodlr(
@@ -129,7 +129,7 @@ def build_hodlr(
     return hodlr
 
 
-def hodlr_from_h2(h2: H2Matrix) -> HODLRMatrix:
+def _hodlr_from_h2(h2: H2Matrix) -> HODLRMatrix:
     """Flatten a weak-admissibility (HSS) :class:`H2Matrix` into HODLR form.
 
     The sketching constructor run with
@@ -139,6 +139,9 @@ def hodlr_from_h2(h2: H2Matrix) -> HODLRMatrix:
     HODLR matrix.  This is the bridge between the paper's constructor and the
     HODLR factorization of :mod:`repro.solvers.hodlr_factor`: the loss of
     nestedness costs memory but buys a direct solve.
+
+    This is the registered ``h2 -> hodlr`` conversion of the
+    :func:`repro.api.convert` registry; call ``convert(h2, "hodlr")``.
 
     Raises :class:`ValueError` when the H2 matrix does not live on the weak
     partition (off-diagonal dense blocks or non-sibling coupling blocks).
@@ -161,3 +164,14 @@ def hodlr_from_h2(h2: H2Matrix) -> HODLRMatrix:
         right = h2.basis.explicit_basis(t)
         hodlr.off_diagonal[(s, t)] = LowRankMatrix(left, right)
     return hodlr
+
+
+@deprecated_entry_point("repro.convert(h2, 'hodlr')")
+def hodlr_from_h2(h2: H2Matrix) -> HODLRMatrix:
+    """Deprecated alias of the ``h2 -> hodlr`` conversion.
+
+    Use :func:`repro.api.convert` (``repro.convert(h2, "hodlr")``) instead;
+    this shim forwards to the same implementation and will be removed in a
+    future release.
+    """
+    return _hodlr_from_h2(h2)

@@ -21,6 +21,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import HierarchicalOperator
+
 MatVec = Callable[[np.ndarray], np.ndarray]
 
 
@@ -119,11 +121,15 @@ def as_linear_operator(
     Accepted inputs, in the order they are recognised:
 
     * an existing :class:`LinearOperator` (returned unchanged);
-    * any hierarchical format or low-rank matrix with ``.matvec`` and
-      ``.shape`` (``H2Matrix``, ``HODLRMatrix``, ``HMatrix``, ``LowRankMatrix``);
-      when the object also provides ``.matmat`` / ``.rmatmat`` (the batched
-      multi-RHS applies of ``H2Matrix``), block right-hand sides are routed
-      through them instead of the single-vector path;
+    * any :class:`~repro.api.protocol.HierarchicalOperator` — the check is
+      *structural*, so every format (``H2Matrix``, ``HODLRMatrix``,
+      ``HMatrix``, HSS/recompression results, third-party formats) adapts
+      without isinstance special-casing: the protocol guarantees
+      ``matvec``/``matmat``/``rmatvec``/``rmatmat``, and block right-hand
+      sides always route through the dedicated multi-RHS applies;
+    * any other object with ``.matvec`` and ``.shape`` (e.g.
+      :class:`~repro.linalg.low_rank.LowRankMatrix`), with
+      ``.matmat``/``.rmatmat`` picked up when present;
     * a sketching operator (``.matvec`` and ``.n``);
     * a dense :class:`numpy.ndarray` or a SciPy sparse matrix;
     * a bare callable ``x -> A @ x`` together with the dimension ``n``.
@@ -141,6 +147,10 @@ def as_linear_operator(
         return ShiftedLinearOperator(a, shift, n=n)
     if isinstance(a, LinearOperator):
         return a
+    if isinstance(a, HierarchicalOperator):
+        return LinearOperator(
+            tuple(a.shape), a.matvec, a.rmatvec, a.matmat, a.rmatmat, source=a
+        )
     matvec = getattr(a, "matvec", None)
     if callable(matvec):
         shape = getattr(a, "shape", None)

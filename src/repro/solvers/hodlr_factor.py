@@ -77,7 +77,7 @@ class HODLRFactorization:
         The matrix to factor.  Must cover the whole cluster tree (every leaf
         has a dense diagonal block, every sibling pair a low-rank block —
         exactly what :func:`~repro.hmatrix.hodlr.build_hodlr` and
-        :func:`~repro.hmatrix.hodlr.hodlr_from_h2` produce).
+        ``repro.convert(h2, "hodlr")`` produce).
     shift:
         Optional diagonal shift: factors ``A + shift * I`` instead of ``A``
         (a nugget/regularization term, also the usual way to make a loose

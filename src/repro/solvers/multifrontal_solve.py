@@ -33,8 +33,8 @@ import scipy.linalg as sla
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..hmatrix.hodlr import hodlr_from_h2
-from ..hmatrix.hss import build_hss
+from ..hmatrix.hodlr import _hodlr_from_h2
+from ..hmatrix.hss import _build_hss
 from ..multifrontal.poisson import grid_coordinates, poisson_grid_points
 from ..sketching.entry_extractor import DenseEntryExtractor
 from ..sketching.operators import DenseOperator
@@ -226,7 +226,7 @@ class MultifrontalSolver:
             )
         tree = ClusterTree.build(separator_points, leaf_size=compress_leaf_size)
         permuted = front[np.ix_(tree.perm, tree.perm)]
-        result = build_hss(
+        result = _build_hss(
             tree,
             DenseOperator(permuted),
             DenseEntryExtractor(permuted),
@@ -234,7 +234,7 @@ class MultifrontalSolver:
             sample_block_size=min(64, max(8, size // 8)),
             seed=rng,
         )
-        factorization = HODLRFactorization(hodlr_from_h2(result.matrix))
+        factorization = HODLRFactorization(_hodlr_from_h2(result.matrix))
         report = FrontReport(
             level=level,
             size=size,

@@ -17,8 +17,8 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
-from ..hmatrix.hodlr import HODLRMatrix, build_hodlr, hodlr_from_h2
-from ..hmatrix.hss import build_hss
+from ..hmatrix.hodlr import HODLRMatrix, _hodlr_from_h2, build_hodlr
+from ..hmatrix.hss import _build_hss
 from ..tree.cluster_tree import ClusterTree
 from ..utils.rng import SeedLike
 from ..utils.timing import PhaseTimer
@@ -38,7 +38,7 @@ class HierarchicalPreconditioner:
     classmethods to build one:
 
     * :meth:`from_operator` — run the paper's sketching constructor (weak
-      admissibility, i.e. :func:`~repro.hmatrix.hss.build_hss`) on a black-box
+      admissibility, i.e. ``repro.compress(..., format="hss")``) on a black-box
       operator at a loose tolerance; the intended path when the system matrix
       is only available through matvecs.
     * :meth:`from_entries` — ACA-build a HODLR approximation from an
@@ -80,7 +80,7 @@ class HierarchicalPreconditioner:
         """
         timer = PhaseTimer()
         with timer.phase("construction"):
-            result = build_hss(
+            result = _build_hss(
                 tree,
                 operator,
                 extractor,
@@ -92,7 +92,7 @@ class HierarchicalPreconditioner:
             )
         with timer.phase("factorization"):
             factorization = HODLRFactorization(
-                hodlr_from_h2(result.matrix), shift=shift
+                _hodlr_from_h2(result.matrix), shift=shift
             )
         return cls(
             factorization,

@@ -1,0 +1,41 @@
+"""Deprecation shims for legacy entry points superseded by :mod:`repro.api`.
+
+The façade PR keeps every pre-existing entry point importable and functional;
+the decorator below marks a callable as a thin shim over its replacement and
+emits a :class:`DeprecationWarning` on *call* (imports stay silent, so merely
+importing ``repro`` never warns).
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def deprecated_entry_point(replacement: str) -> Callable[[F], F]:
+    """Mark ``func`` as a deprecated shim; calls warn and forward unchanged.
+
+    Parameters
+    ----------
+    replacement:
+        Human-readable spelling of the new entry point, e.g.
+        ``"repro.compress(..., format='hss')"``.
+    """
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def shim(*args, **kwargs):
+            warnings.warn(
+                f"{func.__name__} is deprecated; use {replacement} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return func(*args, **kwargs)
+
+        shim.__deprecated__ = replacement  # type: ignore[attr-defined]
+        return shim  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,553 @@
+"""Tests for the unified repro.api surface.
+
+Covers the tentpole of the façade PR:
+
+* the :class:`~repro.api.protocol.HierarchicalOperator` conformance suite —
+  every format produced by :func:`repro.compress` (plus recompression /
+  low-rank-update results) runs through the same matvec/matmat/rmatvec/
+  rmatmat/to_dense/dense-equivalence and ``permuted=`` round-trip checks;
+* the :func:`repro.convert` format-conversion registry;
+* the :class:`~repro.api.policy.ExecutionPolicy` / :mod:`repro.backends`
+  registry threading;
+* :class:`repro.Session` chaining (compress → factor → solve, sweep, gp);
+* the deprecation shims of the legacy entry points.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ExecutionPolicy,
+    HierarchicalOperator,
+    HMatrix,
+    HODLRMatrix,
+    H2Matrix,
+    KernelLaunchCounter,
+    SerialBackend,
+    Session,
+    compress,
+    convert,
+    random_low_rank,
+    recompress_h2,
+    uniform_cube_points,
+)
+from repro.api import FORMATS, available_conversions, register_conversion
+from repro.api.protocol import PROTOCOL_METHODS
+
+N = 400
+LEAF = 32
+TOL = 1e-8
+
+
+def rel(actual: np.ndarray, expected: np.ndarray) -> float:
+    return float(
+        np.linalg.norm(actual - expected) / max(np.linalg.norm(expected), 1e-300)
+    )
+
+
+@pytest.fixture(scope="module")
+def api_points() -> np.ndarray:
+    return uniform_cube_points(N, dim=2, seed=21)
+
+
+@pytest.fixture(scope="module")
+def api_kernel():
+    return repro.ExponentialKernel(length_scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def api_dense(api_points, api_kernel) -> np.ndarray:
+    """Dense reference in the *original* point ordering."""
+    return api_kernel.evaluate(api_points, api_points)
+
+
+@pytest.fixture(scope="module", params=["h2", "hss", "hodlr", "hmatrix", "recompressed"])
+def conforming_operator(request, api_points, api_kernel):
+    """Every operator family that must satisfy the protocol."""
+    fmt = request.param
+    if fmt == "recompressed":
+        base = compress(
+            api_points, api_kernel, format="h2", tol=TOL, leaf_size=LEAF, seed=3
+        )
+        update = random_low_rank(N, 8, seed=4, symmetric=True)
+        result = recompress_h2(base, low_rank_update=update, seed=5)
+        extra = update.to_dense()
+        # The update acts in the permuted ordering; map it back to original.
+        extra = extra[np.ix_(base.tree.iperm, base.tree.iperm)]
+        return fmt, result.matrix, extra
+    op = compress(api_points, api_kernel, format=fmt, tol=TOL, leaf_size=LEAF, seed=3)
+    return fmt, op, None
+
+
+@pytest.fixture
+def reference(conforming_operator, api_dense):
+    fmt, op, extra = conforming_operator
+    dense = api_dense if extra is None else api_dense + extra
+    return fmt, op, dense
+
+
+class TestProtocolConformance:
+    def test_structural_isinstance(self, conforming_operator):
+        _, op, _ = conforming_operator
+        assert isinstance(op, HierarchicalOperator)
+        for method in PROTOCOL_METHODS:
+            assert hasattr(op, method)
+
+    def test_shape_and_dtype(self, conforming_operator):
+        _, op, _ = conforming_operator
+        assert op.shape == (N, N)
+        assert op.dtype == np.dtype(np.float64)
+
+    def test_matvec_matches_dense(self, reference):
+        _, op, dense = reference
+        x = np.random.default_rng(0).standard_normal(N)
+        assert rel(op.matvec(x), dense @ x) < 1e-6
+
+    def test_matmat_matches_columnwise(self, reference):
+        _, op, dense = reference
+        X = np.random.default_rng(1).standard_normal((N, 3))
+        out = op.matmat(X)
+        assert out.shape == (N, 3)
+        assert rel(out, dense @ X) < 1e-6
+        cols = np.stack([op.matvec(X[:, j]) for j in range(3)], axis=1)
+        assert np.allclose(out, cols, rtol=0, atol=1e-12)
+
+    def test_matmat_rejects_vectors(self, conforming_operator):
+        _, op, _ = conforming_operator
+        with pytest.raises(ValueError):
+            op.matmat(np.ones(N))
+        with pytest.raises(ValueError):
+            op.rmatmat(np.ones(N))
+
+    def test_rmatvec_is_exact_transpose(self, reference):
+        _, op, dense = reference
+        x = np.random.default_rng(2).standard_normal(N)
+        assert rel(op.rmatvec(x), dense.T @ x) < 1e-6
+        X = np.random.default_rng(3).standard_normal((N, 2))
+        assert rel(op.rmatmat(X), dense.T @ X) < 1e-6
+
+    def test_matmul_operator(self, reference):
+        _, op, dense = reference
+        x = np.random.default_rng(4).standard_normal(N)
+        assert rel(op @ x, dense @ x) < 1e-6
+
+    def test_to_dense_equivalence(self, reference):
+        _, op, dense = reference
+        rebuilt = op.to_dense()
+        assert rel(rebuilt, dense) < 1e-6
+
+    def test_permuted_round_trip(self, conforming_operator):
+        """permuted= semantics are uniform: perm-in/perm-out matches plain."""
+        _, op, _ = conforming_operator
+        tree = op.tree
+        x = np.random.default_rng(5).standard_normal(N)
+        plain = op.matvec(x)
+        permuted = op.matvec(x[tree.perm], permuted=True)
+        assert np.allclose(permuted, plain[tree.perm], rtol=0, atol=1e-12)
+        dense_plain = op.to_dense()
+        dense_perm = op.to_dense(permuted=True)
+        assert np.allclose(
+            dense_perm, dense_plain[np.ix_(tree.perm, tree.perm)], rtol=0, atol=0
+        )
+
+    def test_dimension_mismatch_raises(self, conforming_operator):
+        _, op, _ = conforming_operator
+        with pytest.raises(ValueError):
+            op.matvec(np.ones(N + 1))
+
+    def test_unified_memory_keys(self, conforming_operator):
+        _, op, _ = conforming_operator
+        mem = op.memory_bytes()
+        assert {"low_rank", "dense", "total"} <= set(mem)
+        assert mem["total"] == mem["low_rank"] + mem["dense"]
+        assert mem["total"] > 0
+        assert op.total_memory_mb() == pytest.approx(mem["total"] / 2**20)
+
+    def test_unified_statistics_keys(self, conforming_operator):
+        fmt, op, _ = conforming_operator
+        stats = op.statistics()
+        assert {
+            "format",
+            "n",
+            "depth",
+            "rank_min",
+            "rank_max",
+            "num_low_rank_blocks",
+            "num_dense_blocks",
+            "memory_mb",
+        } <= set(stats)
+        assert stats["n"] == N
+        expected = {"recompressed": "h2", "hss": "h2"}.get(fmt, fmt)
+        assert stats["format"] == expected
+
+    def test_solvers_accept_protocol_operator(self, reference):
+        """as_linear_operator adapts any HierarchicalOperator, no isinstance."""
+        from repro import as_linear_operator, gmres
+
+        _, op, dense = reference
+        adapted = as_linear_operator(op)
+        assert adapted.source is op
+        b = np.random.default_rng(6).standard_normal(N)
+        solve = gmres(op, b, tol=1e-10, restart=60, maxiter=4000)
+        assert solve.converged
+        # Exact residual against the operator the solver iterated on; the
+        # dense comparison additionally absorbs compression error amplified
+        # by the system's conditioning.
+        assert rel(op @ solve.x, b) < 1e-8
+        assert rel(dense @ solve.x, b) < 1e-3
+
+    def test_linear_operator_is_not_hierarchical(self):
+        from repro import LinearOperator
+
+        op = LinearOperator((4, 4), lambda x: x)
+        assert not isinstance(op, HierarchicalOperator)
+
+
+class TestCompressFacade:
+    def test_unknown_format_raises(self, api_points, api_kernel):
+        with pytest.raises(ValueError, match="unknown format"):
+            compress(api_points, api_kernel, format="butterfly")
+
+    def test_requires_geometry(self, api_kernel):
+        with pytest.raises(ValueError, match="points"):
+            compress(None, api_kernel)
+
+    def test_requires_kernel_or_evaluators(self, api_points):
+        with pytest.raises(ValueError, match="kernel"):
+            compress(api_points, None)
+
+    def test_dense_array_kernel(self, api_points, api_dense):
+        op = compress(api_points, api_dense, format="h2", tol=TOL, leaf_size=LEAF, seed=3)
+        x = np.random.default_rng(0).standard_normal(N)
+        assert np.allclose(op.matvec(x), api_dense @ x, rtol=0, atol=1e-5)
+
+    def test_full_result_carries_statistics(self, api_points, api_kernel):
+        result = compress(
+            api_points, api_kernel, format="hss", tol=1e-6, leaf_size=LEAF,
+            seed=3, full_result=True,
+        )
+        assert result.matrix.shape == (N, N)
+        assert result.total_samples > 0
+        assert result.total_kernel_launches > 0
+
+    def test_full_result_rejected_for_aca_formats(self, api_points, api_kernel):
+        with pytest.raises(ValueError, match="full_result"):
+            compress(api_points, api_kernel, format="hodlr", full_result=True)
+
+    def test_hss_uses_weak_partition(self, api_points, api_kernel):
+        from repro import WeakAdmissibility
+
+        op = compress(api_points, api_kernel, format="hss", tol=1e-6, leaf_size=LEAF, seed=3)
+        assert isinstance(op.partition.admissibility, WeakAdmissibility)
+
+
+class TestConvertRegistry:
+    @pytest.fixture(scope="class")
+    def weak_h2(self, api_points, api_kernel):
+        return compress(
+            api_points, api_kernel, format="hss", tol=TOL, leaf_size=LEAF, seed=7
+        )
+
+    def test_h2_to_hodlr(self, weak_h2):
+        hodlr = convert(weak_h2, "hodlr")
+        assert isinstance(hodlr, HODLRMatrix)
+        assert np.allclose(hodlr.to_dense(), weak_h2.to_dense(), rtol=0, atol=1e-10)
+
+    def test_h2_to_hmatrix(self, weak_h2):
+        h = convert(weak_h2, "hmatrix", tol=1e-10)
+        assert isinstance(h, HMatrix)
+        assert np.allclose(h.to_dense(), weak_h2.to_dense(), rtol=0, atol=1e-5)
+
+    def test_to_dense_target(self, weak_h2):
+        dense = convert(weak_h2, "dense")
+        assert np.allclose(dense, weak_h2.to_dense(), rtol=0, atol=0)
+
+    def test_identity_conversion(self, weak_h2):
+        assert convert(weak_h2, "h2") is weak_h2
+        assert convert(weak_h2, "hss") is weak_h2
+        hodlr = convert(weak_h2, "hodlr")
+        assert convert(hodlr, "hodlr") is hodlr
+
+    def test_unknown_target_raises(self, weak_h2):
+        with pytest.raises(ValueError, match="no conversion"):
+            convert(weak_h2, "butterfly")
+
+    def test_hss_target_rejects_strong_partition(self, api_points, api_kernel):
+        strong = compress(
+            api_points, api_kernel, format="h2", tol=TOL, leaf_size=LEAF, seed=7
+        )
+        with pytest.raises(ValueError, match="weak-admissibility"):
+            convert(strong, "hss")
+        hodlr = convert(
+            compress(api_points, api_kernel, format="hss", tol=TOL,
+                     leaf_size=LEAF, seed=7),
+            "hodlr",
+        )
+        with pytest.raises(ValueError, match="weak-admissibility"):
+            convert(hodlr, "hss")
+
+    def test_unsupported_source_lists_targets(self, weak_h2):
+        hodlr = convert(weak_h2, "hodlr")
+        with pytest.raises(ValueError, match="dense"):
+            convert(hodlr, "hmatrix")
+
+    def test_registry_is_extensible(self, weak_h2):
+        sentinel = object()
+        register_conversion(H2Matrix, "sentinel", lambda op: sentinel)
+        try:
+            assert convert(weak_h2, "sentinel") is sentinel
+            with pytest.raises(ValueError, match="already registered"):
+                register_conversion(H2Matrix, "sentinel", lambda op: None)
+            assert ("H2Matrix", "sentinel") in available_conversions()
+        finally:
+            from repro.api import conversion
+
+            conversion._CONVERSIONS.pop((H2Matrix, "sentinel"))
+
+    def test_strong_partition_rejected_for_hodlr(self, api_points, api_kernel):
+        strong = compress(
+            api_points, api_kernel, format="h2", tol=TOL, leaf_size=LEAF, seed=7
+        )
+        with pytest.raises(ValueError):
+            convert(strong, "hodlr")
+
+
+class TestExecutionPolicy:
+    def test_backend_registry_roundtrip(self):
+        assert "serial" in repro.backends.available()
+        assert "vectorized" in repro.backends.available()
+        assert repro.backends.get("serial").name == "serial"
+        with pytest.raises(ValueError, match="unknown backend"):
+            repro.backends.get("warp")
+
+    def test_register_custom_backend(self, api_points, api_kernel):
+        class TaggedSerial(SerialBackend):
+            name = "tagged-serial"
+
+        try:
+            repro.backends.register("tagged-serial", TaggedSerial)
+            with pytest.raises(ValueError, match="already registered"):
+                repro.backends.register("tagged-serial", TaggedSerial)
+            policy = ExecutionPolicy(backend="tagged-serial")
+            assert policy.resolve_backend().name == "tagged-serial"
+            result = compress(
+                api_points, api_kernel, tol=1e-4, leaf_size=LEAF, seed=1,
+                policy=policy, full_result=True,
+            )
+            assert result.matrix.apply_backend.name == "tagged-serial"
+        finally:
+            from repro.batched import backend as backend_module
+
+            backend_module._BACKENDS.pop("tagged-serial")
+
+    def test_env_override_resolves_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert ExecutionPolicy().resolve_backend().name == "serial"
+        assert repro.get_backend("auto").name == "serial"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert ExecutionPolicy().resolve_backend().name == "vectorized"
+
+    def test_from_env_snapshot(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        monkeypatch.setenv("REPRO_CONSTRUCT_PATH", "loop")
+        policy = ExecutionPolicy.from_env()
+        assert policy.backend == "serial"
+        assert policy.construction_path == "loop"
+        assert policy.resolve_construction_path() == "loop"
+
+    def test_invalid_construction_path_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(construction_path="warp")
+
+    def test_construction_config_threading(self):
+        policy = ExecutionPolicy(backend="serial", construction_path="loop")
+        config = policy.construction_config(tolerance=1e-4)
+        assert config.tolerance == 1e-4
+        assert config.construction_path == "loop"
+        assert config.backend.name == "serial"
+
+    def test_shared_counter_accumulates(self, api_points, api_kernel):
+        counter = KernelLaunchCounter()
+        policy = ExecutionPolicy(backend="serial", counter=counter)
+        op = compress(
+            api_points, api_kernel, tol=1e-4, leaf_size=LEAF, seed=1, policy=policy
+        )
+        after_construction = counter.total()
+        assert after_construction > 0
+        op.matvec(np.ones(N))
+        assert counter.total() > after_construction
+
+    def test_shared_backend_instance(self):
+        policy = ExecutionPolicy(backend="serial")
+        assert policy.resolve_backend() is policy.resolve_backend()
+
+    def test_with_backend_copies(self):
+        policy = ExecutionPolicy(backend="serial", construction_path="loop")
+        other = policy.with_backend("vectorized")
+        assert other.construction_path == "loop"
+        assert other.resolve_backend().name == "vectorized"
+        assert policy.resolve_backend().name == "serial"
+
+    def test_launch_counter_accessor(self):
+        policy = ExecutionPolicy(backend="serial")
+        assert policy.launch_counter() is policy.resolve_backend().counter
+
+    def test_counter_with_backend_instance_rejected(self):
+        policy = ExecutionPolicy(
+            backend=SerialBackend(), counter=KernelLaunchCounter()
+        )
+        with pytest.raises(ValueError, match="backend name"):
+            policy.resolve_backend()
+
+    def test_failed_alias_registration_is_atomic(self):
+        with pytest.raises(ValueError, match="already registered"):
+            repro.backends.register("brand-new", SerialBackend, aliases=("serial",))
+        assert "brand-new" not in repro.backends.available()
+
+
+class TestSession:
+    @pytest.fixture(scope="class")
+    def session(self, api_points):
+        return Session(api_points, leaf_size=LEAF, seed=9)
+
+    def test_compress_factor_solve_chain(self, session, api_kernel, api_dense):
+        b = np.random.default_rng(10).standard_normal(N)
+        solve = session.compress(api_kernel, tol=TOL).factor(noise=1e-2).solve(b)
+        assert solve.converged
+        assert np.allclose(
+            (api_dense + 1e-2 * np.eye(N)) @ solve.x, b, rtol=0, atol=1e-5
+        )
+
+    def test_operator_and_result_properties(self, session, api_kernel):
+        session.compress(api_kernel, tol=TOL)
+        assert isinstance(session.operator, HierarchicalOperator)
+        assert session.result.matrix is session.operator
+
+    def test_solve_methods(self, session, api_kernel, api_dense):
+        session.compress(api_kernel, tol=TOL).factor(noise=1e-2)
+        b = np.ones(N)
+        for method in ("cg", "gmres", "bicgstab"):
+            solve = session.solve(b, tol=1e-8, method=method)
+            assert solve.converged, method
+        with pytest.raises(ValueError, match="unknown method"):
+            session.solve(b, method="direct-inverse")
+
+    def test_compress_to_other_formats(self, session, api_kernel):
+        hodlr = session.compress(api_kernel, tol=TOL, format="hodlr").operator
+        assert isinstance(hodlr, HODLRMatrix)
+        with pytest.raises(ValueError, match="unknown format"):
+            session.compress(api_kernel, format="butterfly")
+
+    def test_hss_format_requires_weak_session(self, api_points, api_kernel):
+        from repro import GeneralAdmissibility
+
+        strong = Session(
+            api_points, leaf_size=LEAF, admissibility=GeneralAdmissibility(eta=0.7)
+        )
+        with pytest.raises(ValueError, match="weak-admissibility"):
+            strong.compress(api_kernel, format="hss")
+
+    def test_recompress_resets_factorization_shift(self, api_points, api_kernel, api_dense):
+        """A re-compress must drop the previous factor() and its noise shift."""
+        sess = Session(api_points, leaf_size=LEAF, seed=4)
+        sess.compress(api_kernel, tol=TOL).factor(noise=0.5)
+        other = repro.ExponentialKernel(0.45)
+        sess.compress(other, tol=TOL)
+        b = np.random.default_rng(11).standard_normal(N)
+        solve = sess.solve(b, tol=1e-10)
+        dense_other = other.evaluate(api_points, api_points)
+        assert solve.converged
+        # Unshifted system: with the stale 0.5 shift this residual is ~0.4.
+        assert rel(dense_other @ solve.x, b) < 1e-4
+
+    def test_sweep_reuses_geometry(self, session):
+        before = session.context.statistics.constructions
+        kernels = [repro.ExponentialKernel(ls) for ls in (0.2, 0.3, 0.45)]
+        results = session.sweep(kernels, tol=1e-6)
+        assert len(results) == 3
+        assert session.context.statistics.constructions >= before + 2
+
+    def test_gp_shares_context(self, session, api_points):
+        gp = session.gp(repro.ExponentialKernel(0.3), noise=1e-2, tolerance=1e-6)
+        assert gp.context is session.context
+        y = np.sin(api_points[:, 0] * 4.0)
+        gp.fit(y)
+        assert np.isfinite(gp.log_marginal_likelihood_)
+
+    def test_requires_compress_before_factor(self, api_points):
+        fresh = Session(api_points, leaf_size=LEAF)
+        with pytest.raises(RuntimeError, match="compress"):
+            fresh.factor()
+        with pytest.raises(RuntimeError, match="compress"):
+            _ = fresh.operator
+
+    def test_policy_threads_into_construction(self, api_points, api_kernel):
+        sess = Session(
+            api_points, leaf_size=LEAF, policy=ExecutionPolicy(backend="serial")
+        )
+        result = sess.compress(api_kernel, tol=1e-4).result
+        assert result.matrix.apply_backend.name == "serial"
+
+    def test_describe_and_geometry_accessors(self, session):
+        assert session.describe().startswith("Session(")
+        assert session.tree.num_points == N
+        assert session.partition.tree is session.tree
+        assert session.points.shape == (N, 2)
+
+
+class TestDeprecationShims:
+    """Old entry points keep working but warn (legacy-import contract)."""
+
+    @pytest.fixture(scope="class")
+    def weak_h2(self, api_points, api_kernel):
+        return compress(
+            api_points, api_kernel, format="hss", tol=TOL, leaf_size=LEAF, seed=7
+        )
+
+    def test_legacy_names_importable(self):
+        from repro import build_hss, hodlr_from_h2  # noqa: F401
+        from repro.hmatrix.hodlr import hodlr_from_h2 as nested  # noqa: F401
+        from repro.hmatrix.hss import build_hss as nested_hss  # noqa: F401
+
+    def test_hodlr_from_h2_warns_and_works(self, weak_h2):
+        with pytest.warns(DeprecationWarning, match="convert"):
+            legacy = repro.hodlr_from_h2(weak_h2)
+        assert isinstance(legacy, HODLRMatrix)
+        modern = convert(weak_h2, "hodlr")
+        assert np.allclose(legacy.to_dense(), modern.to_dense(), rtol=0, atol=0)
+
+    def test_build_hss_warns_and_works(self, api_points, api_kernel):
+        from repro import ClusterTree, KernelEntryExtractor, KernelMatVecOperator
+
+        tree = ClusterTree.build(api_points, leaf_size=LEAF)
+        with pytest.warns(DeprecationWarning, match="compress"):
+            legacy = repro.build_hss(
+                tree,
+                KernelMatVecOperator(api_kernel, tree.points),
+                KernelEntryExtractor(api_kernel, tree.points),
+                tolerance=1e-6,
+                seed=7,
+            )
+        modern = compress(
+            api_points, api_kernel, format="hss", tol=1e-6, leaf_size=LEAF,
+            seed=7, full_result=True,
+        )
+        assert np.allclose(
+            legacy.matrix.to_dense(), modern.matrix.to_dense(), rtol=0, atol=1e-10
+        )
+
+    def test_internal_paths_do_not_warn(self, api_points, api_kernel):
+        """The library's own subsystems route through the impls, not the shims."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = Session(api_points, leaf_size=LEAF, seed=1)
+            session.compress(api_kernel, tol=1e-6).factor(noise=1e-2).solve(
+                np.ones(N)
+            )
+            gp = session.gp(api_kernel, noise=1e-2, tolerance=1e-6)
+            gp.fit(np.sin(api_points[:, 0]))

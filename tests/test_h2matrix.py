@@ -183,8 +183,10 @@ class TestDenseReconstructionAndEntries:
 class TestMemory:
     def test_memory_components(self, cov_h2):
         mem = cov_h2.memory_bytes()
-        assert set(mem) == {"basis", "coupling", "dense", "total"}
+        # Format-specific breakdown plus the unified protocol keys.
+        assert set(mem) == {"basis", "coupling", "dense", "low_rank", "total"}
         assert mem["total"] == mem["basis"] + mem["coupling"] + mem["dense"]
+        assert mem["low_rank"] == mem["basis"] + mem["coupling"]
         assert mem["total"] > 0
 
     def test_compression_beats_dense(self, cov_h2, dense_cov_2d):

@@ -9,7 +9,7 @@ from repro import (
     WeakAdmissibility,
     build_block_partition,
     build_hodlr,
-    build_hss,
+    compress,
 )
 from repro.hmatrix.aca import aca_from_entry_function, aca_low_rank
 from repro.hmatrix.hmatrix import build_hmatrix_aca
@@ -119,25 +119,29 @@ class TestHMatrixACA:
 
 
 class TestHSS:
-    def test_build_hss_accuracy(self, tree_2d, dense_cov_2d, rel_err):
-        result = build_hss(
-            tree_2d,
-            DenseOperator(dense_cov_2d),
-            DenseEntryExtractor(dense_cov_2d),
-            tolerance=1e-6,
+    def test_hss_accuracy(self, tree_2d, dense_cov_2d, rel_err):
+        result = compress(
+            format="hss",
+            tree=tree_2d,
+            operator=DenseOperator(dense_cov_2d),
+            extractor=DenseEntryExtractor(dense_cov_2d),
+            tol=1e-6,
             sample_block_size=64,
             seed=3,
+            full_result=True,
         )
         assert rel_err(result.matrix.to_dense(permuted=True), dense_cov_2d) < 1e-3
 
     def test_hss_partition_is_weak(self, tree_2d, dense_cov_2d):
-        result = build_hss(
-            tree_2d,
-            DenseOperator(dense_cov_2d),
-            DenseEntryExtractor(dense_cov_2d),
-            tolerance=1e-4,
+        result = compress(
+            format="hss",
+            tree=tree_2d,
+            operator=DenseOperator(dense_cov_2d),
+            extractor=DenseEntryExtractor(dense_cov_2d),
+            tol=1e-4,
             sample_block_size=32,
             seed=4,
+            full_result=True,
         )
         partition = result.matrix.partition
         assert isinstance(partition.admissibility, WeakAdmissibility)
@@ -147,12 +151,14 @@ class TestHSS:
 
     def test_hss_ranks_larger_than_h2(self, tree_2d, dense_cov_2d, cov_h2_result):
         """Weak admissibility forces larger ranks than the strong-admissibility H2."""
-        result = build_hss(
-            tree_2d,
-            DenseOperator(dense_cov_2d),
-            DenseEntryExtractor(dense_cov_2d),
-            tolerance=1e-7,
+        result = compress(
+            format="hss",
+            tree=tree_2d,
+            operator=DenseOperator(dense_cov_2d),
+            extractor=DenseEntryExtractor(dense_cov_2d),
+            tol=1e-7,
             sample_block_size=64,
             seed=5,
+            full_result=True,
         )
         assert result.rank_range[1] >= cov_h2_result.rank_range[1]

@@ -1,0 +1,59 @@
+"""Guards on the public API surface of the top-level ``repro`` package.
+
+* ``repro.__all__`` stays alphabetically sorted, duplicate-free, and every
+  name is actually importable;
+* the façade names are part of the contract;
+* the module-docstring quickstart stays executable (the same docstring runs
+  under ``pytest --doctest-modules src/repro/__init__.py`` in CI).
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+
+
+class TestAllListing:
+    def test_sorted(self):
+        assert repro.__all__ == sorted(repro.__all__), (
+            "repro.__all__ must stay alphabetically sorted"
+        )
+
+    def test_unique(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_every_name_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_facade_names_exported(self):
+        for name in (
+            "compress",
+            "convert",
+            "register_conversion",
+            "Session",
+            "ExecutionPolicy",
+            "HierarchicalOperator",
+            "HierarchicalOperatorMixin",
+            "backends",
+        ):
+            assert name in repro.__all__, name
+
+    def test_legacy_names_still_exported(self):
+        for name in ("build_hss", "hodlr_from_h2", "H2Constructor", "build_hodlr"):
+            assert name in repro.__all__, name
+
+
+class TestQuickstartDoctest:
+    def test_module_docstring_runs(self):
+        parser = doctest.DocTestParser()
+        test = parser.get_doctest(
+            repro.__doc__, {"repro": repro}, "repro.__doc__", None, 0
+        )
+        runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS)
+        runner.run(test)
+        assert runner.failures == 0, "the repro quickstart docstring must execute"
+        # The quickstart must exercise the façade, not the legacy boilerplate.
+        assert "repro.compress(" in repro.__doc__
+        assert "Session(" in repro.__doc__

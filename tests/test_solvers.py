@@ -18,10 +18,10 @@ from repro import (
     as_linear_operator,
     bicgstab,
     build_hodlr,
-    build_hss,
+    compress,
     cg,
     gmres,
-    hodlr_from_h2,
+    convert,
     uniform_cube_points,
 )
 from repro.diagnostics import convergence_table, residual_series
@@ -312,23 +312,25 @@ class TestHODLRFactorization:
         assert np.linalg.norm(shifted @ x - b) / np.linalg.norm(b) < 1e-9
 
     def test_factor_of_sketched_hss(self, kernel_system):
-        """hodlr_from_h2 of a tight HSS construction supports direct solves."""
+        """convert(h2, "hodlr") of a tight HSS construction supports direct solves."""
         tree, a_perm = kernel_system
-        result = build_hss(
-            tree,
-            DenseOperator(a_perm),
-            DenseEntryExtractor(a_perm),
-            tolerance=1e-10,
+        result = compress(
+            format="hss",
+            tree=tree,
+            operator=DenseOperator(a_perm),
+            extractor=DenseEntryExtractor(a_perm),
+            tol=1e-10,
             seed=4,
+            full_result=True,
         )
-        fact = HODLRFactorization(hodlr_from_h2(result.matrix))
+        fact = HODLRFactorization(convert(result.matrix, "hodlr"))
         b = np.random.default_rng(4).standard_normal(700)
         x = fact.solve(b, permuted=True)
         assert np.linalg.norm(a_perm @ x - b) / np.linalg.norm(b) < 1e-6
 
-    def test_hodlr_from_h2_rejects_strong_partition(self, cov_h2):
+    def test_hodlr_conversion_rejects_strong_partition(self, cov_h2):
         with pytest.raises(ValueError):
-            hodlr_from_h2(cov_h2)
+            convert(cov_h2, "hodlr")
 
     def test_singular_matrix_sign_is_zero(self, kernel_system):
         tree, _ = kernel_system
@@ -399,15 +401,17 @@ class TestSlogdetRegression:
         points, kernel = covariance
         tree = ClusterTree.build(points, leaf_size=32)
         a_perm = kernel.matrix(tree.points)
-        result = build_hss(
-            tree,
-            DenseOperator(a_perm),
-            DenseEntryExtractor(a_perm),
-            tolerance=1e-10,
+        result = compress(
+            format="hss",
+            tree=tree,
+            operator=DenseOperator(a_perm),
+            extractor=DenseEntryExtractor(a_perm),
+            tol=1e-10,
             seed=11,
+            full_result=True,
         )
         nugget = 5e-2
-        fact = HODLRFactorization(hodlr_from_h2(result.matrix), shift=nugget)
+        fact = HODLRFactorization(convert(result.matrix, "hodlr"), shift=nugget)
         sign_ref, logdet_ref = np.linalg.slogdet(a_perm + nugget * np.eye(self.N))
         sign, logdet = fact.slogdet()
         assert sign == pytest.approx(sign_ref)
