@@ -1,0 +1,146 @@
+"""Diff the two most recent perf snapshots and flag >20% regressions.
+
+Reads the JSON files ``snapshot.py`` commits to ``benchmarks/history/``,
+orders them by the trailing number in their label (``pr4`` < ``pr6`` <
+``pr10``), and compares the latest snapshot against its predecessor:
+
+* ``*_seconds`` headlines regress when they grow by more than the threshold;
+* ``*_gflops`` headlines regress when they shrink by more than the threshold;
+* ``*_launches`` / ``*_iterations`` / ``*_samples`` headlines regress when
+  they grow by more than the threshold (they are deterministic, so any change
+  at all is also reported).
+
+The exit code is 0 unless ``--strict`` is given and a regression was found —
+CI runs it non-blocking (a soft gate): timings on shared runners are noisy,
+so the report is a signal for a human, not an automatic verdict.
+
+Usage::
+
+    python benchmarks/compare_bench.py
+    python benchmarks/compare_bench.py --strict --threshold 0.2
+    python benchmarks/compare_bench.py old.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+DEFAULT_THRESHOLD = 0.20
+
+#: Headline suffix -> direction in which the metric regresses.
+HIGHER_IS_WORSE = ("_seconds", "_launches", "_iterations", "_samples")
+LOWER_IS_WORSE = ("_gflops",)
+
+
+def _order_key(path: str) -> tuple:
+    """Sort key ordering snapshots by the trailing integer of their label."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    match = re.search(r"(\d+)$", stem)
+    return (0, int(match.group(1)), stem) if match else (1, 0, stem)
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def latest_pair(history_dir: str) -> tuple[str, str] | None:
+    files = sorted(
+        (
+            os.path.join(history_dir, name)
+            for name in os.listdir(history_dir)
+            if name.endswith(".json")
+        ),
+        key=_order_key,
+    )
+    if len(files) < 2:
+        return None
+    return files[-2], files[-1]
+
+
+def compare(baseline: dict, latest: dict, threshold: float = DEFAULT_THRESHOLD):
+    """Per-headline comparison rows: (key, old, new, ratio, status)."""
+    rows = []
+    base = baseline.get("headlines", {})
+    head = latest.get("headlines", {})
+    for key in sorted(set(base) | set(head)):
+        old, new = base.get(key), head.get(key)
+        if old is None or new is None:
+            rows.append((key, old, new, None, "added" if old is None else "removed"))
+            continue
+        ratio = new / old if old else float("inf") if new else 1.0
+        status = "ok"
+        if key.endswith(HIGHER_IS_WORSE) and new > old * (1.0 + threshold):
+            status = "REGRESSION"
+        elif key.endswith(LOWER_IS_WORSE) and new < old * (1.0 - threshold):
+            status = "REGRESSION"
+        elif key.endswith(("_launches", "_iterations", "_samples")) and new != old:
+            status = "changed"
+        rows.append((key, old, new, ratio, status))
+    return rows
+
+
+def render(rows, baseline_label: str, latest_label: str) -> str:
+    lines = [
+        f"perf snapshot comparison: {baseline_label} -> {latest_label}",
+        f"{'headline':<34} {'old':>12} {'new':>12} {'ratio':>8}  status",
+    ]
+    for key, old, new, ratio, status in rows:
+        old_s = "-" if old is None else f"{old:.5g}"
+        new_s = "-" if new is None else f"{new:.5g}"
+        ratio_s = "-" if ratio is None else f"{ratio:7.3f}x"
+        lines.append(f"{key:<34} {old_s:>12} {new_s:>12} {ratio_s:>8}  {status}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="baseline snapshot JSON (default: second-latest in history)")
+    parser.add_argument("latest", nargs="?", default=None,
+                        help="latest snapshot JSON (default: latest in history)")
+    parser.add_argument("--history",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)), "history"),
+                        help="snapshot directory (default benchmarks/history)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative regression threshold (default 0.20)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a regression is flagged")
+    args = parser.parse_args(argv)
+
+    if (args.baseline is None) != (args.latest is None):
+        parser.error("pass either both snapshot paths or neither")
+    if args.baseline is None:
+        pair = latest_pair(args.history)
+        if pair is None:
+            print(f"fewer than two snapshots in {args.history}; nothing to compare")
+            return 0
+        args.baseline, args.latest = pair
+
+    baseline = load_snapshot(args.baseline)
+    latest = load_snapshot(args.latest)
+    if baseline.get("config") != latest.get("config"):
+        print("warning: snapshot configs differ (problem sizes/seeds changed) "
+              "— ratios are not comparable\n"
+              f"  baseline: {baseline.get('config')}\n"
+              f"  latest:   {latest.get('config')}")
+    rows = compare(baseline, latest, threshold=args.threshold)
+    print(render(rows, baseline.get("label", args.baseline),
+                 latest.get("label", args.latest)))
+
+    regressions = [row for row in rows if row[4] == "REGRESSION"]
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:.0%} — needs a human look")
+        return 1 if args.strict else 0
+    print("\nno regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Per-PR headline performance snapshot (the committed perf trajectory).
+
+Runs a small fixed set of headline measurements — construction (packed and
+loop paths), compiled matvec, preconditioned solve and a GP hyperparameter
+sweep — at fixed problem sizes and seeds, and writes one JSON file per PR to
+``benchmarks/history/``.  Committing the file gives the repository a
+performance trajectory that ``compare_bench.py`` diffs in CI (non-blocking):
+a >20% regression on any headline flags the PR for a human look.
+
+The whole pipeline runs under one :class:`repro.observe.SpanTracer`; pass
+``--trace out.json`` to also export the Chrome ``trace_event`` file (open it
+in https://ui.perfetto.dev) and print the console span tree.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/snapshot.py --label pr6
+    PYTHONPATH=src python benchmarks/snapshot.py --label dev --out /tmp/dev.json \
+        --trace /tmp/dev-trace.json
+
+Sizes scale down for CI with ``REPRO_SNAPSHOT_N`` / ``REPRO_SNAPSHOT_GP_N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro import (
+    ExecutionPolicy,
+    ExponentialKernel,
+    Session,
+    SpanTracer,
+    uniform_cube_points,
+)
+from repro.diagnostics import apply_report
+from repro.observe import MetricsRegistry, console_tree, save_chrome_trace
+
+SEED = 7
+NOISE = 1e-2
+GP_LENGTH_SCALES = (0.15, 0.2, 0.3)
+
+
+def snapshot_sizes() -> tuple[int, int]:
+    n = int(os.environ.get("REPRO_SNAPSHOT_N", "4096"))
+    n_gp = int(os.environ.get("REPRO_SNAPSHOT_GP_N", "1024"))
+    return n, n_gp
+
+
+def take_snapshot(label: str, trace_path: str | None = None) -> dict:
+    n, n_gp = snapshot_sizes()
+    kernel = ExponentialKernel(0.2)
+    tracer = SpanTracer(metrics=MetricsRegistry())
+    policy = ExecutionPolicy(tracer=tracer)
+    headlines: dict[str, float] = {}
+
+    # Construction, packed path (the compiled level-wise engine).
+    points = uniform_cube_points(n, dim=3, seed=1)
+    sess = Session(points, policy=policy, seed=SEED)
+    sess.compress(kernel, tol=1e-6)
+    result = sess.result
+    headlines["construction_packed_seconds"] = result.elapsed_seconds
+    headlines["construction_total_launches"] = result.total_kernel_launches
+    headlines["construction_total_samples"] = result.total_samples
+
+    # Construction, per-node loop reference path.
+    loop_policy = ExecutionPolicy(construction_path="loop", tracer=tracer)
+    loop_result = repro.compress(
+        points, kernel, tol=1e-6, seed=SEED, policy=loop_policy, full_result=True
+    )
+    headlines["construction_loop_seconds"] = loop_result.elapsed_seconds
+
+    # Compiled batched matvec (dedicated best-of measurement, untraced).
+    matvec = apply_report(sess.operator, backend="vectorized", k=1, repeats=5)
+    headlines["matvec_seconds"] = matvec.seconds_per_apply
+    headlines["matvec_gflops"] = matvec.gflops
+    headlines["matvec_launches"] = matvec.launches_per_apply
+
+    # Preconditioned CG solve.
+    start = time.perf_counter()
+    solve = sess.factor(noise=NOISE).solve(np.ones(n), tol=1e-8)
+    headlines["solve_seconds"] = time.perf_counter() - start
+    headlines["solve_iterations"] = solve.iterations
+
+    # GP hyperparameter sweep (geometry re-use across the grid).
+    gp_points = uniform_cube_points(n_gp, dim=3, seed=2)
+    gp_sess = Session(gp_points, policy=ExecutionPolicy(tracer=tracer), seed=SEED)
+    gp = gp_sess.gp(kernel, noise=NOISE)
+    y = np.sin(gp_points[:, 0] * 5.0)
+    start = time.perf_counter()
+    gp.fit(y, length_scales=list(GP_LENGTH_SCALES))
+    sweep_seconds = time.perf_counter() - start
+    headlines["gp_sweep_seconds"] = sweep_seconds
+    headlines["gp_seconds_per_point"] = sweep_seconds / max(1, len(gp.fit_reports_))
+
+    if trace_path:
+        save_chrome_trace(tracer, trace_path)
+        print(console_tree(tracer, min_duration=1e-4))
+        print(f"chrome trace written to {trace_path}")
+
+    return {
+        "schema": 1,
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {
+            "n": n,
+            "n_gp": n_gp,
+            "seed": SEED,
+            "noise": NOISE,
+            "length_scales": list(GP_LENGTH_SCALES),
+            "kernel": "exponential(0.2)",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "repro": repro.__version__,
+        },
+        "headlines": headlines,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", required=True,
+                        help="snapshot label, e.g. pr6 (also the file name)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default benchmarks/history/<label>.json)")
+    parser.add_argument("--trace", default=None,
+                        help="also write a Chrome trace_event JSON of the run")
+    args = parser.parse_args(argv)
+
+    out = args.out
+    if out is None:
+        history = os.path.join(os.path.dirname(os.path.abspath(__file__)), "history")
+        os.makedirs(history, exist_ok=True)
+        out = os.path.join(history, f"{args.label}.json")
+
+    snapshot = take_snapshot(args.label, trace_path=args.trace)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"snapshot {args.label!r} -> {out}")
+    for key, value in sorted(snapshot["headlines"].items()):
+        print(f"  {key:<34} {value:.6g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,10 @@ substrate for the weak-admissibility comparisons.
 Every hierarchical format (H2, HSS, HODLR, H) implements the same
 :class:`~repro.api.protocol.HierarchicalOperator` protocol, and the
 :mod:`repro.api` façade reduces the pipeline to one call per step.
+:mod:`repro.observe` adds an opt-in hierarchical tracer (pass
+``ExecutionPolicy(tracer=repro.SpanTracer())``) that attributes wall time,
+batched launches and flops to nested spans across every layer, with
+Chrome-trace/JSON-lines/console exporters.
 
 Quickstart
 ----------
@@ -148,6 +152,8 @@ from .linalg import (
     random_low_rank,
     row_id,
 )
+from . import observe
+from .observe import SpanTracer
 from .sketching import (
     DenseEntryExtractor,
     DenseOperator,
@@ -236,6 +242,7 @@ __all__ = [
     "Session",
     "ShiftedLinearOperator",
     "SketchingOperator",
+    "SpanTracer",
     "SumEntryExtractor",
     "SumKernel",
     "SumOperator",
@@ -270,6 +277,7 @@ __all__ = [
     "hyperparameter_grid",
     "memory_report",
     "nelder_mead",
+    "observe",
     "phase_breakdown",
     "plane_points",
     "random_low_rank",

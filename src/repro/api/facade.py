@@ -209,7 +209,8 @@ def compress(
                 max_rank=max_rank,
             )
         result = H2Constructor(
-            partition, operator, extractor, config=config, seed=seed
+            partition, operator, extractor, config=config, seed=seed,
+            tracer=policy.tracer,
         ).construct()
         result.matrix.apply_backend = policy.resolve_backend()
         return result if full_result else result.matrix
@@ -274,6 +275,7 @@ class Session:
             cache_limit_mb=cache_limit_mb,
             seed=seed,
             construction_path=self.policy.construction_path,
+            tracer=self.policy.tracer,
         )
         self._result: Optional[ConstructionResult] = None
         self._operator: Optional[HierarchicalOperator] = None
@@ -393,7 +395,9 @@ class Session:
             if isinstance(operator, HODLRMatrix)
             else convert(operator, "hodlr")
         )
-        self._factorization = HODLRFactorization(hodlr, shift=noise)
+        self._factorization = HODLRFactorization(
+            hodlr, shift=noise, tracer=self.policy.tracer
+        )
         self._shift = float(noise)
         return self
 
@@ -424,7 +428,8 @@ class Session:
         operator = as_linear_operator(self.operator, shift=self._shift)
         preconditioner = self._factorization
         return methods[method](
-            operator, b, tol=tol, maxiter=maxiter, M=preconditioner
+            operator, b, tol=tol, maxiter=maxiter, M=preconditioner,
+            tracer=self.policy.tracer,
         )
 
     def gp(

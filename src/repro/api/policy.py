@@ -22,13 +22,17 @@ Environment overrides (read when a knob is left at ``"auto"``):
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Union
+
+from ..observe.tracer import NOOP_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..batched.backend import BatchedBackend
     from ..batched.counters import KernelLaunchCounter
     from ..core.config import ConstructionConfig
+    from ..observe.tracer import NoopTracer, SpanTracer
 
 
 @dataclass
@@ -48,24 +52,33 @@ class ExecutionPolicy:
         ``"packed"`` / ``"loop"`` / ``"auto"`` (default: follow
         ``REPRO_CONSTRUCT_PATH``, falling back to ``packed``).
     counter:
-        Optional shared :class:`~repro.batched.counters.KernelLaunchCounter`.
-        When given, every backend this policy resolves accumulates its
-        launches there, so one counter spans construction, applies and solves
-        across all components sharing the policy.  Only combinable with a
-        backend *name* — an existing backend instance already owns a counter,
-        so passing both raises :class:`ValueError` at resolution time
-        (silently dropping the shared counter would break the contract
-        above).
+        **Deprecated** — the tracer owns the shared counter now.  When given,
+        every backend this policy resolves accumulates its launches there; a
+        :class:`DeprecationWarning` points at the replacement
+        (``tracer=SpanTracer(counter=...)`` to share an explicit counter, or
+        just read :meth:`launch_counter` — ``share_backend`` already makes
+        one counter span the whole policy).  Only combinable with a backend
+        *name* — an existing backend instance already owns a counter, so
+        passing both raises :class:`ValueError` at resolution time (silently
+        dropping the shared counter would break the contract above).
     share_backend:
         When ``True`` (default), :meth:`resolve_backend` resolves the name
         once and returns the *same* instance on every call, so launch
         counters accumulate per policy even without an explicit ``counter``.
+    tracer:
+        A :class:`~repro.observe.SpanTracer` recording hierarchical spans for
+        everything executed under this policy, or the zero-overhead
+        :data:`~repro.observe.NOOP_TRACER` (default).  :meth:`resolve_backend`
+        binds the tracer to the resolved backend's launch counter and stores
+        it on the backend instance, so apply plans, solvers and the GP layer
+        all attribute their work to the same trace without extra plumbing.
     """
 
     backend: "Union[str, BatchedBackend]" = "auto"
     construction_path: str = "auto"
     counter: "Optional[KernelLaunchCounter]" = None
     share_backend: bool = True
+    tracer: "Union[SpanTracer, NoopTracer, None]" = None
     _resolved: "Optional[BatchedBackend]" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -75,10 +88,27 @@ class ExecutionPolicy:
             raise ValueError(
                 "construction_path must be 'auto', 'packed' or 'loop'"
             )
+        if self.tracer is None:
+            self.tracer = NOOP_TRACER
+        if self.counter is not None:
+            warnings.warn(
+                "ExecutionPolicy(counter=...) is deprecated: the policy's "
+                "tracer owns the shared launch counter.  Pass "
+                "tracer=SpanTracer(counter=...) to share an explicit counter "
+                "or read policy.launch_counter() for the resolved backend's.",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------- resolution
     def resolve_backend(self) -> "BatchedBackend":
-        """The backend instance this policy executes on."""
+        """The backend instance this policy executes on.
+
+        Besides resolving the name, this is the single consolidation point of
+        launch-counter and tracer ownership: the policy's tracer adopts the
+        resolved backend's counter (or supplies its own to the backend
+        factory) and is installed as ``backend.tracer``.
+        """
         from ..batched.backend import BatchedBackend, get_backend
 
         if self._resolved is not None:
@@ -89,7 +119,13 @@ class ExecutionPolicy:
                 "supplied backend instance keeps its own counter (use "
                 "backend.counter instead)"
             )
-        backend = get_backend(self.backend, counter=self.counter)
+        counter = self.counter
+        if counter is None and self.tracer.enabled:
+            counter = self.tracer.counter  # None until first bind: fine
+        backend = get_backend(self.backend, counter=counter)
+        if self.tracer.enabled:
+            self.tracer.bind_counter(backend.counter)
+            backend.tracer = self.tracer
         if self.share_backend:
             self._resolved = backend
         return backend

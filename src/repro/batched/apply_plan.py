@@ -543,8 +543,38 @@ class H2ApplyPlan:
         backend: BatchedBackend | str = "vectorized",
         transpose: bool = False,
     ) -> np.ndarray:
-        """Apply the compiled plan to ``x`` of shape ``(n, k)`` (permuted ordering)."""
+        """Apply the compiled plan to ``x`` of shape ``(n, k)`` (permuted ordering).
+
+        When the backend carries an enabled tracer (installed by
+        :meth:`repro.api.ExecutionPolicy.resolve_backend`), the apply runs
+        inside an ``apply`` span attributed with the plan's launch deltas,
+        flop count and operand bytes; otherwise the only instrumentation cost
+        is this ``enabled`` check.
+        """
         be = get_backend(backend)
+        tracer = getattr(be, "tracer", None)
+        if tracer is None or not tracer.enabled:
+            return self._execute(x, be, transpose)
+        with tracer.span(
+            "apply", category="apply", n=self.n, transpose=transpose,
+            backend=be.name, levels=self.num_levels,
+            block_products=self.num_block_products,
+        ) as span:
+            out = self._execute(x, be, transpose)
+            k = out.shape[1]
+            operand_bytes = int(sum(s.a.nbytes for s in self._forward_stages))
+            span.set(k=k, operand_bytes=operand_bytes)
+            span.add_flops(self.flops(k))
+            span.add_bytes(operand_bytes + 2 * self.n * k * 8)
+        return out
+
+    def _execute(
+        self,
+        x: np.ndarray,
+        be: BatchedBackend,
+        transpose: bool = False,
+    ) -> np.ndarray:
+        """The untraced apply body (also the overhead-test baseline)."""
         x = np.ascontiguousarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self.n:
             raise ValueError(

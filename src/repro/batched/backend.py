@@ -51,7 +51,14 @@ class BatchedBackend(ABC):
     name: str = "abstract"
 
     def __init__(self, counter: KernelLaunchCounter | None = None):
+        from ..observe.tracer import NOOP_TRACER
+
         self.counter = counter if counter is not None else KernelLaunchCounter()
+        #: The tracer downstream layers (apply plans, solvers, GP) consult.
+        #: :meth:`repro.api.ExecutionPolicy.resolve_backend` replaces it when
+        #: the policy carries an enabled tracer; the default no-op costs one
+        #: attribute load per instrumented call site.
+        self.tracer = NOOP_TRACER
 
     # -------------------------------------------------------------- recording
     def _record(self, operation: str, launches: int) -> None:

@@ -12,7 +12,30 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping
+
+
+def _delta(after: Mapping[str, int], before: Mapping[str, int]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for op, value in after.items():
+        diff = value - before.get(op, 0)
+        if diff:
+            out[op] = diff
+    return out
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Point-in-time copy of a :class:`KernelLaunchCounter`'s tallies."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+
+    def total(self) -> int:
+        return int(sum(self.counts.values()))
+
+    def total_calls(self) -> int:
+        return int(sum(self.calls.values()))
 
 
 @dataclass
@@ -52,6 +75,23 @@ class KernelLaunchCounter:
 
     def calls_by_operation(self) -> Dict[str, int]:
         return dict(self.calls)
+
+    def snapshot(self) -> "CounterSnapshot":
+        """A frozen copy of the current per-operation tallies.
+
+        Pair with :meth:`since` to report the launches of one region of work
+        (a single construction, a single apply) even when the counter is
+        shared across many regions — the consolidation contract of
+        :class:`repro.api.ExecutionPolicy` and :class:`repro.observe.SpanTracer`.
+        """
+        return CounterSnapshot(counts=dict(self.counts), calls=dict(self.calls))
+
+    def since(self, snapshot: "CounterSnapshot") -> "CounterSnapshot":
+        """Per-operation growth since ``snapshot`` (zero entries dropped)."""
+        return CounterSnapshot(
+            counts=_delta(self.counts, snapshot.counts),
+            calls=_delta(self.calls, snapshot.calls),
+        )
 
     def reset(self) -> None:
         self.counts.clear()

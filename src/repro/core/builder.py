@@ -69,6 +69,7 @@ from ..hmatrix.h2matrix import H2Matrix
 from ..sketching.entry_extractor import EntryExtractor
 from ..sketching.operators import SketchingOperator
 from ..tree.block_partition import BlockPartition
+from ..observe.tracer import NOOP_TRACER
 from ..utils.rng import SeedLike, as_generator
 from ..utils.timing import PhaseTimer
 from .config import ConstructionConfig
@@ -109,6 +110,11 @@ class ConstructionResult:
     levels: List[LevelReport] = field(default_factory=list)
     #: Which sweep produced the matrix: ``"packed"`` (compiled) or ``"loop"``.
     construction_path: str = "packed"
+    #: Root :class:`repro.observe.Span` of this construction when it ran under
+    #: an enabled tracer (``None`` otherwise).  The per-phase and per-level
+    #: child spans carry the same numbers as ``phase_seconds`` /
+    #: ``kernel_launches`` — diagnostics accept either.
+    trace: Optional[object] = None
 
     @property
     def rank_range(self) -> Tuple[int, int]:
@@ -142,6 +148,7 @@ class H2Constructor:
         seed: SeedLike = None,
         sample_source: Callable[[int], np.ndarray] | None = None,
         plan: ConstructionPlan | None = None,
+        tracer: object | None = None,
     ):
         self.partition = partition
         self.tree = partition.tree
@@ -174,10 +181,24 @@ class H2Constructor:
                 f"dimension (tree: {n}, operator: {operator.n}, extractor: {extractor.n})"
             )
 
-        counter = KernelLaunchCounter()
-        self.backend: BatchedBackend = get_backend(self.config.backend, counter=counter)
+        # Counter/tracer consolidation: an enabled tracer's counter is handed
+        # to the backend factory so one counter spans everything under the
+        # owning policy; otherwise each constructor gets a fresh counter (a
+        # backend *instance* in the config always keeps its own — per-result
+        # launch numbers then come from snapshot deltas, see _construct).
+        shared = tracer.counter if (tracer is not None and tracer.enabled) else None
+        self.backend: BatchedBackend = get_backend(
+            self.config.backend,
+            counter=shared if shared is not None else KernelLaunchCounter(),
+        )
         self.counter = self.backend.counter
-        self.timer = PhaseTimer()
+        self.tracer = (
+            tracer if tracer is not None
+            else getattr(self.backend, "tracer", NOOP_TRACER)
+        )
+        if self.tracer.enabled:
+            self.tracer.bind_counter(self.counter)
+        self.timer = PhaseTimer(tracer=self.tracer)
 
         # Construction state (populated by :meth:`construct`).
         self.skeletons = SkeletonStore()
@@ -217,7 +238,23 @@ class H2Constructor:
         return mode
 
     def _construct(self, packed: bool) -> ConstructionResult:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._construct_impl(packed)
+        with tracer.span(
+            "construct",
+            category="construct",
+            n=self.tree.num_points,
+            backend=self.backend.name,
+            path="packed" if packed else "loop",
+        ) as span:
+            result = self._construct_impl(packed)
+        result.trace = span
+        return result
+
+    def _construct_impl(self, packed: bool) -> ConstructionResult:
         start = time.perf_counter()
+        launches_at_start = self.counter.snapshot()
         self.operator.reset_statistics()
         self.extractor.entries_evaluated = 0
 
@@ -255,17 +292,20 @@ class H2Constructor:
             omega_next: Dict[int, np.ndarray] = {}
 
             for depth in range(leaf_depth, min_depth - 1, -1):
-                if depth == leaf_depth:
-                    report, y_next, omega_next = self._process_leaf_level(
-                        omega, y, tester
-                    )
-                else:
-                    report, y_next, omega_next = self._process_inner_level(
-                        depth, y_next, omega_next, tester
-                    )
-                levels.append(report)
-                all_converged = all_converged and report.converged
-                self._extract_couplings(depth)
+                with self.tracer.span(
+                    f"level={depth}", category="construct.level", depth=depth
+                ):
+                    if depth == leaf_depth:
+                        report, y_next, omega_next = self._process_leaf_level(
+                            omega, y, tester
+                        )
+                    else:
+                        report, y_next, omega_next = self._process_inner_level(
+                            depth, y_next, omega_next, tester
+                        )
+                    levels.append(report)
+                    all_converged = all_converged and report.converged
+                    self._extract_couplings(depth)
 
         matrix = H2Matrix(
             tree=tree,
@@ -275,6 +315,9 @@ class H2Constructor:
             dense=self.dense_blocks,
         )
         elapsed = time.perf_counter() - start
+        # Per-construction launch numbers even on a shared (policy/tracer)
+        # counter: report the growth since this construction started.
+        launch_delta = self.counter.since(launches_at_start)
         return ConstructionResult(
             matrix=matrix,
             config=self.config,
@@ -283,10 +326,10 @@ class H2Constructor:
             entries_evaluated=self.extractor.entries_evaluated,
             elapsed_seconds=elapsed,
             phase_seconds=self.timer.as_dict(),
-            kernel_launches=self.counter.by_operation(),
-            total_kernel_launches=self.counter.total(),
-            kernel_calls=self.counter.calls_by_operation(),
-            total_kernel_calls=self.counter.total_calls(),
+            kernel_launches=launch_delta.counts,
+            total_kernel_launches=launch_delta.total(),
+            kernel_calls=launch_delta.calls,
+            total_kernel_calls=launch_delta.total_calls(),
             norm_estimate=self._norm_estimate,
             converged=all_converged,
             levels=levels,
@@ -798,47 +841,50 @@ class H2Constructor:
         all_converged = True
 
         for depth in range(tree.depth, min_depth - 1, -1):
-            rounds = 1
-            converged = True
-            if cfg.adaptive:
-                converged, rounds = self._adapt_level_packed(engine, state, tester)
+            with self.tracer.span(
+                f"level={depth}", category="construct.level", depth=depth
+            ):
+                rounds = 1
+                converged = True
+                if cfg.adaptive:
+                    converged, rounds = self._adapt_level_packed(engine, state, tester)
 
-            rel_tol, abs_tols = self._id_tolerances(state.count)
-            with self.timer.phase("id"):
-                decompositions = self.backend.batched_row_id(
-                    [state.node_block(i) for i in range(state.count)],
-                    rel_tol=rel_tol,
-                    abs_tols=abs_tols,
-                    max_rank=cfg.max_rank,
-                )
+                rel_tol, abs_tols = self._id_tolerances(state.count)
+                with self.timer.phase("id"):
+                    decompositions = self.backend.batched_row_id(
+                        [state.node_block(i) for i in range(state.count)],
+                        rel_tol=rel_tol,
+                        abs_tols=abs_tols,
+                        max_rank=cfg.max_rank,
+                    )
 
-            self._record_level_skeletons(depth, state, decompositions)
+                self._record_level_skeletons(depth, state, decompositions)
 
-            ranks = [dec.rank for dec in decompositions]
-            levels.append(
-                LevelReport(
-                    depth=depth,
-                    num_nodes=state.count,
-                    samples_used=self._total_samples,
-                    sampling_rounds=rounds,
-                    max_rank=max(ranks) if ranks else 0,
-                    min_rank=min(ranks) if ranks else 0,
-                    converged=converged,
+                ranks = [dec.rank for dec in decompositions]
+                levels.append(
+                    LevelReport(
+                        depth=depth,
+                        num_nodes=state.count,
+                        samples_used=self._total_samples,
+                        sampling_rounds=rounds,
+                        max_rank=max(ranks) if ranks else 0,
+                        min_rank=min(ranks) if ranks else 0,
+                        converged=converged,
+                    )
                 )
-            )
-            all_converged = all_converged and converged
+                all_converged = all_converged and converged
 
-            if depth > min_depth:
-                y_next, omega_next, record = engine.finish_level(
-                    state, decompositions
-                )
-                self._extract_couplings_packed(depth, engine, record)
-                state = engine.merge_to_parent(
-                    record, y_next, omega_next,
-                    capacity_hint=state.cols + headroom,
-                )
-            else:
-                self._extract_couplings_packed(depth, engine, None)
+                if depth > min_depth:
+                    y_next, omega_next, record = engine.finish_level(
+                        state, decompositions
+                    )
+                    self._extract_couplings_packed(depth, engine, record)
+                    state = engine.merge_to_parent(
+                        record, y_next, omega_next,
+                        capacity_hint=state.cols + headroom,
+                    )
+                else:
+                    self._extract_couplings_packed(depth, engine, None)
         return all_converged
 
     def _record_level_skeletons(

@@ -232,8 +232,16 @@ class GeometryContext:
         :class:`~repro.tree.admissibility.GeneralAdmissibility` for general
         H2 sweeps).
     backend:
-        Batched backend name (``"serial"``/``"vectorized"``) used for both
-        construction and the compiled apply plans of the produced matrices.
+        Batched backend name (``"serial"``/``"vectorized"``) or instance,
+        used for both construction and the compiled apply plans of the
+        produced matrices.  Resolved to one instance at context creation, so
+        a single :class:`~repro.batched.counters.KernelLaunchCounter` spans
+        everything the context executes.
+    tracer:
+        Optional :class:`repro.observe.SpanTracer`; when given (usually by
+        :class:`repro.api.Session` from its policy) it is installed on the
+        resolved backend and every construction/apply/solve under this
+        context records spans.
     distance_cache:
         ``"dense"`` stores the full permuted distance matrix (fastest),
         ``"blocks"`` caches per-block distances of the inadmissible leaf
@@ -262,9 +270,22 @@ class GeometryContext:
         cache_limit_mb: float = 600.0,
         seed: SeedLike = 0,
         construction_path: str = "auto",
+        tracer: object | None = None,
     ):
         start = time.perf_counter()
-        self.backend = backend
+        # One backend instance (hence one launch counter) for the lifetime of
+        # the context: constructions and the compiled applies of every matrix
+        # it produces all account to the same place.  Resolving here fixes
+        # the historical stray path that created a fresh backend (with a
+        # fresh counter) per construction whenever ``backend`` was a name.
+        self.backend: BatchedBackend = get_backend(backend)
+        if tracer is not None:
+            self.tracer = tracer
+            if tracer.enabled:
+                tracer.bind_counter(self.backend.counter)
+                self.backend.tracer = tracer
+        else:
+            self.tracer = getattr(self.backend, "tracer", None)
         self.construction_path = construction_path
         rng = as_generator(seed)
 
@@ -401,6 +422,7 @@ class GeometryContext:
             seed=self._norm_seed,
             sample_source=self._omega_bank.sampler(),
             plan=self._construction_plan,
+            tracer=self.tracer,
         )
         result = constructor.construct()
         if self._construction_plan is None and constructor.plan is not None:
@@ -416,7 +438,7 @@ class GeometryContext:
         self.statistics.sample_columns_cached = self._omega_bank.num_columns
 
         matrix = result.matrix
-        matrix.apply_backend = get_backend(self.backend)
+        matrix.apply_backend = self.backend
         if reuse_plan and self._plan is not None and self._plan.matches(matrix):
             matrix.reuse_plan(self._plan)
             self.statistics.plan_reuses += 1

@@ -1,5 +1,27 @@
-"""Accuracy, memory, profiling and apply-throughput diagnostics used by the
-benchmark harness."""
+"""Accuracy, memory, profiling and throughput diagnostics used by the
+benchmark harness.
+
+The reports in this package are *views*: they render numbers that the core
+layers already record rather than owning their own instrumentation.  Two
+recording routes feed them:
+
+- **Dedicated measurements** — :func:`apply_report`,
+  :func:`construction_report`, :func:`memory_report` and friends run (or
+  inspect) a concrete object and read its counters/timers directly.  This is
+  the original API and still works untraced.
+- **Trace data** — when work runs under an enabled
+  :class:`repro.observe.SpanTracer` (see :class:`repro.api.ExecutionPolicy`),
+  the same numbers land on spans, and :meth:`PhaseBreakdown.from_span` /
+  :meth:`ApplyReport.from_span` rebuild the reports from the trace alone.
+  Phase times and launch counts agree exactly between the two routes because
+  they share one underlying measurement.
+
+Per-phase construction timing (Fig. 7) lives in :mod:`.profiling`, launch
+and throughput accounting in :mod:`.apply_report` /
+:mod:`.construction_report`, accuracy in :mod:`.error`, memory in
+:mod:`.memory`, solver convergence in :mod:`.solver_report` and GP sweep
+statistics in :mod:`.gp_report`.
+"""
 
 from .apply_report import ApplyReport, apply_report
 from .construction_report import ConstructionReport, construction_report

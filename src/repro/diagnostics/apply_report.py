@@ -5,6 +5,12 @@ O(log N) launch argument); this module extends the instrumentation to the
 *apply* side: how many batched launches one matvec/matmat costs, how that
 compares to the per-node block count, and what effective throughput the
 compiled plan achieves on a given backend.
+
+Two routes produce the same :class:`ApplyReport`: :func:`apply_report` runs a
+dedicated timed measurement, and :meth:`ApplyReport.from_span` rebuilds the
+report from one traced ``apply`` span (recorded whenever a compiled apply
+executes under an enabled :class:`repro.observe.SpanTracer`) — launch counts
+agree exactly between the two, timings up to run-to-run noise.
 """
 
 from __future__ import annotations
@@ -49,6 +55,30 @@ class ApplyReport:
     @property
     def bandwidth_gb_s(self) -> float:
         return self.operand_bytes / max(self.seconds_per_apply, 1e-12) / 2**30
+
+    @classmethod
+    def from_span(cls, span) -> "ApplyReport":
+        """Rebuild the report from one traced ``apply`` span.
+
+        The compiled :meth:`H2ApplyPlan.execute <repro.batched.apply_plan.H2ApplyPlan.execute>`
+        stamps its span with the plan geometry (``n``, ``k``, ``backend``,
+        ``levels``, ``block_products``, ``operand_bytes``) and attributes the
+        batched-primitive calls and flops it issued, so a single traced apply
+        carries everything a report needs — no dedicated re-measurement.
+        """
+        attrs = span.attributes
+        return cls(
+            n=int(attrs.get("n", 0)),
+            k=int(attrs.get("k", 1)),
+            backend=str(attrs.get("backend", "?")),
+            levels=int(attrs.get("levels", 0)),
+            launches_per_apply=span.total_calls,
+            block_products=int(attrs.get("block_products", 0)),
+            launches_by_phase=dict(span.calls),
+            seconds_per_apply=span.duration,
+            flops_per_apply=int(span.flops),
+            operand_bytes=int(attrs.get("operand_bytes", 0)),
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {

@@ -82,9 +82,10 @@ def construction_report(result: "ConstructionResult") -> ConstructionReport:
     """
     launches = dict(result.kernel_launches)
     generation = sum(launches.get(op, 0) for op in GENERATION_OPS)
+    backend = result.config.backend
     return ConstructionReport(
         n=result.matrix.num_rows,
-        backend=result.config.backend,
+        backend=getattr(backend, "name", backend),
         path=result.construction_path,
         levels=result.matrix.tree.num_levels,
         sampling_rounds=sum(level.sampling_rounds for level in result.levels),

@@ -4,8 +4,14 @@ The paper breaks the construction runtime into sampling, entry generation,
 BSR multiplication, the convergence test, the interpolative decompositions,
 the shrink/upsweep bookkeeping and miscellaneous work, and reports the share
 of each phase on CPU and GPU for growing problem sizes.
-:class:`PhaseBreakdown` converts the phase timers recorded by the constructor
-into that percentage breakdown.
+
+:class:`PhaseBreakdown` is a *view over trace data*: under an enabled
+:class:`repro.observe.SpanTracer` the constructor's :class:`~repro.utils.timing.PhaseTimer`
+records one ``construct.phase`` span per phase block, and
+:meth:`PhaseBreakdown.from_span` aggregates them — the same measurement also
+feeds the legacy ``ConstructionResult.phase_seconds`` dict, so both routes
+produce identical numbers.  :func:`phase_breakdown` accepts a
+``ConstructionResult`` (traced or not) or a trace span directly.
 """
 
 from __future__ import annotations
@@ -56,7 +62,22 @@ class PhaseBreakdown:
             return {phase: 0.0 for phase in ordered}
         return {phase: 100.0 * value / total for phase, value in ordered.items()}
 
+    @classmethod
+    def from_span(cls, span) -> "PhaseBreakdown":
+        """Aggregate the ``construct.phase`` spans below ``span`` (or a tracer)."""
+        from ..observe.views import phase_seconds
+
+        return cls(seconds=phase_seconds(span))
+
 
 def phase_breakdown(result) -> PhaseBreakdown:
-    """Build a :class:`PhaseBreakdown` from a ``ConstructionResult``."""
-    return PhaseBreakdown(seconds=dict(result.phase_seconds))
+    """Build a :class:`PhaseBreakdown` from a ``ConstructionResult`` or a span.
+
+    Accepts anything carrying ``phase_seconds`` (the legacy result path), a
+    :class:`repro.observe.Span` / :class:`repro.observe.SpanTracer` (the trace
+    path), or a traced ``ConstructionResult`` — all yield the same numbers.
+    """
+    seconds = getattr(result, "phase_seconds", None)
+    if seconds is not None:
+        return PhaseBreakdown(seconds=dict(seconds))
+    return PhaseBreakdown.from_span(result)

@@ -34,6 +34,7 @@ import numpy as np
 from ..api.policy import ExecutionPolicy
 from ..core.context import GeometryContext
 from ..diagnostics.gp_report import GPFitReport
+from ..observe.tracer import NOOP_TRACER
 from ..hmatrix.hodlr import _hodlr_from_h2
 from ..hmatrix.linear_operator import as_linear_operator
 from ..kernels.base import KernelFunction, PairwiseKernel
@@ -136,17 +137,21 @@ class GaussianProcess:
         self.max_cg_iterations = max_cg_iterations
         if context is None:
             construction_path = "auto"
+            tracer = None
             if policy is not None:
                 backend = policy.resolve_backend()
                 construction_path = policy.construction_path
+                tracer = policy.tracer
             context = GeometryContext(
                 self.train_points,
                 leaf_size=leaf_size,
                 backend=backend,
                 seed=seed,
                 construction_path=construction_path,
+                tracer=tracer,
             )
         self.context = context
+        self._tracer = getattr(context, "tracer", None) or NOOP_TRACER
         if self.context.num_points != self.train_points.shape[0]:
             raise ValueError(
                 "context was built over a different number of points "
@@ -197,8 +202,31 @@ class GaussianProcess:
     def _evaluate(
         self, y: np.ndarray, kernel: KernelFunction, noise: float
     ) -> _FittedState:
-        """Construct, factor and solve at one hyperparameter point."""
+        """Construct, factor and solve at one hyperparameter point.
+
+        Under an enabled tracer every candidate runs inside a ``gp/evaluate``
+        span whose children are the construction, factorization and solve
+        spans of the layers below.
+        """
         check_positive(noise, "noise")
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._evaluate_impl(y, kernel, noise)
+        with tracer.span(
+            "gp/evaluate", category="gp",
+            kernel=type(kernel).__name__, noise=float(noise),
+        ) as span:
+            state = self._evaluate_impl(y, kernel, noise)
+            span.set(
+                log_marginal_likelihood=state.log_likelihood,
+                cg_iterations=state.report.cg_iterations,
+                plan_reused=state.report.plan_reused,
+            )
+        return state
+
+    def _evaluate_impl(
+        self, y: np.ndarray, kernel: KernelFunction, noise: float
+    ) -> _FittedState:
         stats = self.context.statistics
         reuses_before = stats.plan_reuses + stats.result_cache_hits
         t_construct = time.perf_counter()
@@ -219,7 +247,7 @@ class GaussianProcess:
                     "so the constructed covariance can be factored in HODLR form"
                 ) from exc
             self._hodlr_cache = (result, hodlr)
-        factorization = HODLRFactorization(hodlr, shift=noise)
+        factorization = HODLRFactorization(hodlr, shift=noise, tracer=self._tracer)
         factor_seconds = time.perf_counter() - t0
         if factorization.determinant_sign <= 0.0:
             raise NotPositiveDefiniteError(
@@ -239,6 +267,7 @@ class GaussianProcess:
             tol=self.solve_tol,
             maxiter=self.max_cg_iterations,
             M=preconditioner,
+            tracer=self._tracer,
         )
         solve_seconds = time.perf_counter() - t0
         apply_launches = matrix.apply_backend.counter.total() - launches_before

@@ -1,0 +1,69 @@
+"""repro.observe — hierarchical tracing, metrics and trace exporters.
+
+The observability spine of the library.  One :class:`SpanTracer`, carried by
+an :class:`repro.api.ExecutionPolicy`, records a tree of :class:`Span` objects
+as work flows through the constructor, the compiled apply plans, the Krylov
+solvers, the HODLR factorization and the GP sweeps.  Each span carries
+wall-clock time plus launch/FLOP/byte attribution read from the backend's
+:class:`~repro.batched.counters.KernelLaunchCounter`, so the trace and the
+paper's launch-count arguments come from the same source of truth.
+
+Quick tour::
+
+    from repro import ExecutionPolicy, Session
+    from repro.observe import SpanTracer, console_tree, save_chrome_trace
+
+    tracer = SpanTracer()
+    policy = ExecutionPolicy(backend="vectorized", tracer=tracer)
+    session = Session(points, kernel, policy=policy)
+    with tracer.span("workload"):
+        session.compress()
+        session.factor()
+        session.solve(b)
+    print(console_tree(tracer))
+    save_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
+
+With the default :data:`NOOP_TRACER` nothing is recorded and the hot paths
+pay only an ``if tracer.enabled`` check.
+"""
+
+from .exporters import (
+    console_tree,
+    from_jsonl,
+    save_chrome_trace,
+    to_chrome_trace,
+    to_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .span import Span, SpanEvent
+from .tracer import NOOP_TRACER, NoopTracer, SpanTracer
+from .views import (
+    find_spans,
+    launches_by_operation,
+    phase_seconds,
+    span_durations,
+    total_launches,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "SpanEvent",
+    "SpanTracer",
+    "console_tree",
+    "find_spans",
+    "from_jsonl",
+    "launches_by_operation",
+    "metrics",
+    "phase_seconds",
+    "save_chrome_trace",
+    "span_durations",
+    "to_chrome_trace",
+    "to_jsonl",
+    "total_launches",
+]

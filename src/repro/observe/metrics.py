@@ -1,0 +1,186 @@
+"""Process-wide metrics: counters, gauges and percentile histograms.
+
+The tracer records *structured* data (span trees); metrics are the flat,
+always-on aggregates that survive across traces — how many solves ran this
+process, the p95 construction time, the current cache occupancy.  The three
+instrument types follow the usual conventions:
+
+* :class:`Counter` — monotone accumulator (``inc``);
+* :class:`Gauge` — last-write-wins value (``set``);
+* :class:`Histogram` — streaming distribution with exact count/sum/min/max and
+  approximate percentiles (p50/p95/p99) over a bounded reservoir of samples.
+
+A :class:`MetricsRegistry` is a get-or-create namespace of instruments; the
+module-level :func:`metrics` accessor returns the process-wide registry that
+:class:`~repro.observe.tracer.SpanTracer` feeds by default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, temperature, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+
+class Histogram:
+    """Streaming distribution with bounded-memory percentile estimates.
+
+    ``count``/``sum``/``min``/``max`` are exact.  Percentiles are computed
+    over a reservoir of the most recent ``capacity`` observations (default
+    4096) — exact until the reservoir fills, a sliding window afterwards.
+    """
+
+    __slots__ = ("name", "capacity", "count", "sum", "min", "max", "_samples")
+
+    def __init__(self, name: str, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("histogram capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            self._samples[self.count % self.capacity] = value
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) by linear interpolation."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        if len(data) == 1:
+            return data[0]
+        pos = (q / 100.0) * (len(data) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create namespace of named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, capacity=capacity)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry (created on first use)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY

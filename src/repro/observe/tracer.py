@@ -1,0 +1,253 @@
+"""Tracers: the span factory threaded through the execution layers.
+
+Two implementations share one duck-typed protocol:
+
+* :data:`NOOP_TRACER` — the process-wide no-op.  ``enabled`` is ``False``,
+  ``span()`` returns one cached context manager whose enter/exit do nothing,
+  and every other method is a ``pass``.  Hot paths keep a
+  ``if tracer.enabled:`` guard around anything that would allocate, so a
+  policy without tracing pays a single attribute load per call site.
+* :class:`SpanTracer` — the real thing.  Opening a span snapshots the bound
+  :class:`~repro.batched.counters.KernelLaunchCounter`; closing it stores the
+  per-operation launch/call deltas on the span, making launch attribution a
+  pure read of counters that the backends maintain anyway.
+
+A tracer is carried by :class:`repro.api.ExecutionPolicy` exactly like the
+shared launch counter: ``policy.resolve_backend()`` binds the tracer to the
+backend's counter and stores the tracer on the backend instance, so every
+layer downstream (apply plans, solvers, GP) finds it at
+``backend.tracer`` without extra plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..batched.counters import KernelLaunchCounter
+from .metrics import MetricsRegistry, metrics as _global_metrics
+from .span import Span, SpanEvent
+
+
+def _delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Per-key difference ``after - before``, dropping zero entries."""
+    out: Dict[str, int] = {}
+    for key, value in after.items():
+        diff = value - before.get(key, 0)
+        if diff:
+            out[key] = diff
+    return out
+
+
+class _NoopSpan:
+    """Stand-in span handle: accepts the Span mutation API and discards it."""
+
+    __slots__ = ()
+
+    duration = 0.0
+    flops = 0
+    bytes = 0
+
+    def set(self, **attributes: object) -> "_NoopSpan":
+        return self
+
+    def add_event(self, name: str, timestamp: float = 0.0, **attributes: object) -> None:
+        return None
+
+    def add_flops(self, count: int) -> None:
+        return None
+
+    def add_bytes(self, count: int) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _NoopSpanContext:
+    """Reusable context manager returned by :meth:`NoopTracer.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopSpanContext()
+
+
+class NoopTracer:
+    """Disabled tracer: every operation is a no-op and allocates nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+    counter: Optional[KernelLaunchCounter] = None
+    metrics: Optional[MetricsRegistry] = None
+    roots: List[Span] = []
+
+    def span(self, name: str, category: str = "", **attributes: object) -> _NoopSpanContext:
+        return _NOOP_CONTEXT
+
+    def event(self, name: str, **attributes: object) -> None:
+        return None
+
+    def add_flops(self, count: int) -> None:
+        return None
+
+    def add_bytes(self, count: int) -> None:
+        return None
+
+    def bind_counter(self, counter: KernelLaunchCounter) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+    @property
+    def current(self) -> None:
+        return None
+
+
+NOOP_TRACER = NoopTracer()
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`SpanTracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_attributes", "_span",
+                 "_counts0", "_calls0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, category: str,
+                 attributes: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+        self._counts0: Optional[Dict[str, int]] = None
+        self._calls0: Optional[Dict[str, int]] = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        parent = tracer.current
+        span = Span(
+            name=self._name,
+            category=self._category,
+            attributes=self._attributes,
+            parent=parent,
+        )
+        counter = tracer.counter
+        if counter is not None:
+            self._counts0 = dict(counter.counts)
+            self._calls0 = dict(counter.calls)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            tracer.roots.append(span)
+        tracer._stack.append(span)
+        self._span = span
+        span.start = tracer._clock()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        span = self._span
+        span.end = tracer._clock()
+        counter = tracer.counter
+        if counter is not None and self._counts0 is not None:
+            span.launches = _delta(counter.counts, self._counts0)
+            span.calls = _delta(counter.calls, self._calls0)
+        if exc_type is not None:
+            span.attributes.setdefault("error", exc_type.__name__)
+        stack = tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # unbalanced exit (e.g. generator GC ordering); stay consistent
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        registry = tracer.metrics
+        if registry is not None:
+            key = span.category or span.name
+            registry.histogram(f"span.{key}.seconds").observe(span.duration)
+            if span.launches:
+                registry.counter("launches.attributed").inc(span.self_launches)
+        return False
+
+
+class SpanTracer:
+    """Recording tracer: builds a forest of :class:`~repro.observe.span.Span`.
+
+    Parameters
+    ----------
+    counter:
+        The :class:`~repro.batched.counters.KernelLaunchCounter` spans read
+        for launch attribution.  Usually left ``None`` and bound lazily — the
+        first backend resolved under the owning policy calls
+        :meth:`bind_counter` with its counter.
+    metrics:
+        A :class:`~repro.observe.metrics.MetricsRegistry` fed one duration
+        histogram per span category.  Defaults to the process-wide registry;
+        pass ``metrics=None`` explicitly via ``record_metrics=False``-style
+        wrappers is not needed — use a private registry to isolate.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        counter: Optional[KernelLaunchCounter] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.counter = counter
+        self.metrics = _global_metrics() if metrics is None else metrics
+        self.roots: List[Span] = []
+        self.orphan_events: List[SpanEvent] = []
+        self._stack: List[Span] = []
+        self._clock = time.perf_counter
+
+    # ---------------------------------------------------------------- spanning
+    def span(self, name: str, category: str = "", **attributes: object) -> _SpanContext:
+        """Context manager opening a nested span; yields the :class:`Span`."""
+        return _SpanContext(self, name, category, attributes)
+
+    def event(self, name: str, **attributes: object) -> None:
+        """Record a point-in-time event on the currently open span."""
+        event = SpanEvent(name=name, timestamp=self._clock(), attributes=attributes)
+        current = self.current
+        if current is not None:
+            current.events.append(event)
+        else:
+            self.orphan_events.append(event)
+
+    def add_flops(self, count: int) -> None:
+        current = self.current
+        if current is not None:
+            current.add_flops(count)
+
+    def add_bytes(self, count: int) -> None:
+        current = self.current
+        if current is not None:
+            current.add_bytes(count)
+
+    # ----------------------------------------------------------------- wiring
+    def bind_counter(self, counter: KernelLaunchCounter) -> None:
+        """Adopt ``counter`` for launch attribution (first bind wins)."""
+        if self.counter is None:
+            self.counter = counter
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Drop all recorded spans/events (the bound counter is untouched)."""
+        self.roots.clear()
+        self.orphan_events.clear()
+        self._stack.clear()

@@ -82,9 +82,15 @@ class HODLRFactorization:
         Optional diagonal shift: factors ``A + shift * I`` instead of ``A``
         (a nugget/regularization term, also the usual way to make a loose
         preconditioner factorization robustly invertible).
+    tracer:
+        Optional :class:`repro.observe.SpanTracer`; the factorization build
+        runs inside a ``factor/hodlr`` span carrying ``n`` and ``shift``.
     """
 
-    def __init__(self, hodlr: HODLRMatrix, shift: float = 0.0):
+    def __init__(self, hodlr: HODLRMatrix, shift: float = 0.0,
+                 tracer: object | None = None):
+        from ..observe.tracer import NOOP_TRACER
+
         self.hodlr = hodlr
         self.shift = float(shift)
         self.tree = hodlr.tree
@@ -92,7 +98,12 @@ class HODLRFactorization:
         self._nodes: Dict[int, _NodeFactor] = {}
         self._sign = 1.0
         self._logabsdet = 0.0
-        self._factor(0)
+        tracer = tracer if tracer is not None else NOOP_TRACER
+        with tracer.span(
+            "factor/hodlr", category="factor",
+            n=self.tree.num_points, shift=self.shift,
+        ):
+            self._factor(0)
 
     # ------------------------------------------------------------------ factor
     def _factor(self, node: int) -> None:

@@ -124,6 +124,35 @@ def _apply_info(op: LinearOperator) -> Dict[str, object]:
     return {"apply_backend": name, "apply_launch_counter": backend.counter}
 
 
+def _tracer_of(op: LinearOperator) -> object:
+    """The tracer the solve should record to, discovered from the operator.
+
+    Hierarchical operators carry their apply backend, and the backend carries
+    the policy's tracer; everything else falls back to the no-op tracer.
+    """
+    from ..observe.tracer import NOOP_TRACER
+
+    backend = getattr(getattr(op, "source", None), "apply_backend", None)
+    return getattr(backend, "tracer", None) or NOOP_TRACER
+
+
+def _traced_solve(method, tracer, body, op, b):
+    """Run ``body()`` inside a ``solve/<method>`` span (or plainly when off)."""
+    if not tracer.enabled:
+        return body()
+    with tracer.span(
+        f"solve/{method}", category="solve", method=method, n=int(b.shape[0])
+    ) as span:
+        result = body()
+        span.set(
+            iterations=result.iterations,
+            converged=result.converged,
+            matvecs=result.matvecs,
+            final_residual=result.final_residual,
+        )
+    return result
+
+
 def _result(
     method: str,
     x: np.ndarray,
@@ -155,10 +184,25 @@ def cg(
     M: object | None = None,
     x0: np.ndarray | None = None,
     callback: Callable[[int, float], None] | None = None,
+    tracer: object | None = None,
 ) -> KrylovResult:
-    """Preconditioned conjugate gradients for a symmetric positive-definite ``a``."""
+    """Preconditioned conjugate gradients for a symmetric positive-definite ``a``.
+
+    Under an enabled tracer (passed explicitly or discovered from the
+    operator's apply backend) the solve runs inside a ``solve/cg`` span with
+    one ``iteration`` event per CG step.
+    """
     start = time.perf_counter()
     op, b, x = _prepare(a, b, x0)
+    tracer = tracer if tracer is not None else _tracer_of(op)
+    return _traced_solve(
+        "cg", tracer,
+        lambda: _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start),
+        op, b,
+    )
+
+
+def _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start) -> KrylovResult:
     precond = _Preconditioner(M)
     n = b.shape[0]
     maxiter = n if maxiter is None else int(maxiter)
@@ -191,6 +235,9 @@ def cg(
         r = r - alpha * ap
         rel = float(np.linalg.norm(r)) / b_norm
         history.append(rel)
+        if tracer.enabled:
+            tracer.event("iteration", method="cg", iteration=iteration + 1,
+                         residual=rel)
         if callback is not None:
             callback(iteration + 1, rel)
         if rel <= tol:
@@ -214,15 +261,30 @@ def gmres(
     M: object | None = None,
     x0: np.ndarray | None = None,
     callback: Callable[[int, float], None] | None = None,
+    tracer: object | None = None,
 ) -> KrylovResult:
     """Right-preconditioned restarted GMRES(m) for a general square ``a``.
 
     ``maxiter`` bounds the *total* number of inner iterations across restarts.
     Right preconditioning solves ``A M^{-1} u = b`` with ``x = M^{-1} u``, so
-    the reported residuals are true residuals of the original system.
+    the reported residuals are true residuals of the original system.  Under
+    an enabled tracer the solve runs inside a ``solve/gmres`` span with one
+    ``iteration`` event per inner iteration.
     """
     start = time.perf_counter()
     op, b, x = _prepare(a, b, x0)
+    tracer = tracer if tracer is not None else _tracer_of(op)
+    return _traced_solve(
+        "gmres", tracer,
+        lambda: _gmres_body(
+            op, b, x, tol, restart, maxiter, M, callback, tracer, start
+        ),
+        op, b,
+    )
+
+
+def _gmres_body(op, b, x, tol, restart, maxiter, M, callback, tracer,
+                start) -> KrylovResult:
     precond = _Preconditioner(M)
     n = b.shape[0]
     restart = max(1, min(int(restart), n))
@@ -279,6 +341,9 @@ def gmres(
             y, residual = _least_squares_residual(h[: inner + 1, :inner], e1[: inner + 1])
             rel = residual / b_norm
             history.append(rel)
+            if tracer.enabled:
+                tracer.event("iteration", method="gmres",
+                             iteration=total_iterations, residual=rel)
             if callback is not None:
                 callback(total_iterations, rel)
             if rel <= tol or breakdown:
@@ -320,10 +385,25 @@ def bicgstab(
     M: object | None = None,
     x0: np.ndarray | None = None,
     callback: Callable[[int, float], None] | None = None,
+    tracer: object | None = None,
 ) -> KrylovResult:
-    """Preconditioned BiCGStab for a general square ``a`` (van der Vorst 1992)."""
+    """Preconditioned BiCGStab for a general square ``a`` (van der Vorst 1992).
+
+    Under an enabled tracer the solve runs inside a ``solve/bicgstab`` span
+    with one ``iteration`` event per step.
+    """
     start = time.perf_counter()
     op, b, x = _prepare(a, b, x0)
+    tracer = tracer if tracer is not None else _tracer_of(op)
+    return _traced_solve(
+        "bicgstab", tracer,
+        lambda: _bicgstab_body(op, b, x, tol, maxiter, M, callback, tracer, start),
+        op, b,
+    )
+
+
+def _bicgstab_body(op, b, x, tol, maxiter, M, callback, tracer,
+                   start) -> KrylovResult:
     precond = _Preconditioner(M)
     n = b.shape[0]
     maxiter = n if maxiter is None else int(maxiter)
@@ -363,6 +443,9 @@ def bicgstab(
         if float(np.linalg.norm(s)) / b_norm <= tol:
             x = x + alpha * p_hat
             history.append(float(np.linalg.norm(s)) / b_norm)
+            if tracer.enabled:
+                tracer.event("iteration", method="bicgstab",
+                             iteration=iteration + 1, residual=history[-1])
             if callback is not None:
                 callback(iteration + 1, history[-1])
             converged = True
@@ -376,6 +459,9 @@ def bicgstab(
         r = s - omega * t
         rel = float(np.linalg.norm(r)) / b_norm
         history.append(rel)
+        if tracer.enabled:
+            tracer.event("iteration", method="bicgstab",
+                         iteration=iteration + 1, residual=rel)
         if callback is not None:
             callback(iteration + 1, rel)
         if rel <= tol:

@@ -54,12 +54,30 @@ class PhaseTimer:
     Used by :class:`repro.core.builder.H2Constructor` to produce the Fig. 7
     breakdown (``sampling``, ``entry_generation``, ``bsr_gemm``,
     ``convergence``, ``id``, ``shrink_upsweep``, ``misc``).
+
+    When constructed with an enabled :class:`repro.observe.SpanTracer`, every
+    ``phase(...)`` block additionally opens a ``construct.phase`` span and the
+    accumulated seconds are the *span's own duration* — one measurement feeds
+    both the timer dict and the trace, so the legacy ``phase_seconds`` numbers
+    and :func:`repro.observe.phase_seconds` agree exactly.
     """
 
     phases: Dict[str, float] = field(default_factory=dict)
+    tracer: object = None
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        tracer = self.tracer
+        if tracer is not None and getattr(tracer, "enabled", False):
+            span = None
+            try:
+                with tracer.span(f"phase/{name}", category="construct.phase",
+                                 phase=name) as span:
+                    yield
+            finally:
+                if span is not None:
+                    self.phases[name] = self.phases.get(name, 0.0) + span.duration
+            return
         start = time.perf_counter()
         try:
             yield

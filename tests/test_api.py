@@ -373,7 +373,8 @@ class TestExecutionPolicy:
 
     def test_shared_counter_accumulates(self, api_points, api_kernel):
         counter = KernelLaunchCounter()
-        policy = ExecutionPolicy(backend="serial", counter=counter)
+        with pytest.warns(DeprecationWarning, match="counter"):
+            policy = ExecutionPolicy(backend="serial", counter=counter)
         op = compress(
             api_points, api_kernel, tol=1e-4, leaf_size=LEAF, seed=1, policy=policy
         )
@@ -398,9 +399,10 @@ class TestExecutionPolicy:
         assert policy.launch_counter() is policy.resolve_backend().counter
 
     def test_counter_with_backend_instance_rejected(self):
-        policy = ExecutionPolicy(
-            backend=SerialBackend(), counter=KernelLaunchCounter()
-        )
+        with pytest.warns(DeprecationWarning, match="counter"):
+            policy = ExecutionPolicy(
+                backend=SerialBackend(), counter=KernelLaunchCounter()
+            )
         with pytest.raises(ValueError, match="backend name"):
             policy.resolve_backend()
 
