@@ -22,7 +22,11 @@ Every hierarchical format (H2, HSS, HODLR, H) implements the same
 :mod:`repro.observe` adds an opt-in hierarchical tracer (pass
 ``ExecutionPolicy(tracer=repro.SpanTracer())``) that attributes wall time,
 batched launches and flops to nested spans across every layer, with
-Chrome-trace/JSON-lines/console exporters.
+Chrome-trace/JSON-lines/console exporters.  :mod:`repro.persist` saves any
+compressed operator to a versioned, mmap-able artifact file
+(``op.save(path)`` / :func:`repro.load_operator`) and backs the opt-in
+content-addressed construction cache (``compress(..., cache_dir=...)`` or
+``REPRO_CACHE_DIR``).
 
 Quickstart
 ----------
@@ -154,6 +158,8 @@ from .linalg import (
 )
 from . import observe
 from .observe import SpanTracer
+from . import persist
+from .persist import ArtifactCache, load_operator, save_operator
 from .sketching import (
     DenseEntryExtractor,
     DenseOperator,
@@ -190,6 +196,7 @@ __version__ = "1.1.0"
 
 #: Public API, kept alphabetically sorted (guarded by tests/test_public_api.py).
 __all__ = [
+    "ArtifactCache",
     "BasisTree",
     "BatchedBackend",
     "BlockPartition",
@@ -275,9 +282,11 @@ __all__ = [
     "grid_points",
     "hodlr_from_h2",
     "hyperparameter_grid",
+    "load_operator",
     "memory_report",
     "nelder_mead",
     "observe",
+    "persist",
     "phase_breakdown",
     "plane_points",
     "random_low_rank",
@@ -286,5 +295,6 @@ __all__ = [
     "register_conversion",
     "residual_series",
     "row_id",
+    "save_operator",
     "uniform_cube_points",
 ]

@@ -10,8 +10,11 @@ Built-in conversions:
 ==============  ==========  ====================================================
 source          target      notes
 ==============  ==========  ====================================================
-``H2Matrix``    ``hodlr``   expand nested bases; requires the weak (HSS)
-                            partition — the bridge to the HODLR direct solver
+``H2Matrix``    ``hodlr``   weak (HSS) partition: expand nested bases exactly;
+                            strong partition: re-compress onto the weak
+                            partition with ACA on the H2 entry evaluator
+                            (``tol=`` / ``max_rank=`` forwarded) — either way
+                            the bridge to the HODLR direct solver
 ``H2Matrix``    ``hmatrix`` re-compress every admissible block independently
                             with ACA on the H2 entry evaluator (``tol=`` /
                             ``max_rank=`` forwarded)
@@ -34,7 +37,7 @@ import numpy as np
 
 from ..hmatrix.h2matrix import H2Matrix
 from ..hmatrix.hmatrix import HMatrix, build_hmatrix_aca
-from ..hmatrix.hodlr import HODLRMatrix, _hodlr_from_h2
+from ..hmatrix.hodlr import HODLRMatrix, _hodlr_from_h2, build_hodlr
 
 #: ``(source class, target format name) -> conversion callable``.
 _CONVERSIONS: Dict[Tuple[type, str], Callable] = {}
@@ -123,11 +126,39 @@ def _hmatrix_from_h2(
     )
 
 
+def _hodlr_from_h2_any(
+    h2: H2Matrix, tol: float = 1e-6, max_rank: int | None = None
+) -> HODLRMatrix:
+    """Convert any H2 matrix to HODLR, whichever partition it lives on.
+
+    On the weak (HSS) partition the nested bases expand *exactly* into
+    non-nested low-rank sibling blocks (``tol``/``max_rank`` are ignored —
+    no re-compression happens).  On a strong-admissibility partition the
+    coupling structure does not match HODLR's sibling blocks, so the matrix
+    is re-compressed onto the weak partition: every off-diagonal sibling
+    block is rebuilt with partial-pivoted ACA on the H2 entry evaluator
+    (accuracy governed by ``tol``, the forwarded default ``1e-6``).  The old
+    behaviour — leaking the internal ``ValueError: dense off-diagonal
+    block ... not on the weak partition`` — is gone; ``convert(h2, "hodlr")``
+    now succeeds for both admissibility families.
+    """
+    from ..tree.admissibility import WeakAdmissibility
+
+    if isinstance(h2.partition.admissibility, WeakAdmissibility):
+        return _hodlr_from_h2(h2)
+    return build_hodlr(
+        h2.tree,
+        lambda rows, cols: h2.get_block(rows, cols, permuted=True),
+        tol=tol,
+        max_rank=max_rank,
+    )
+
+
 def _to_dense(op, permuted: bool = False) -> np.ndarray:
     return op.to_dense(permuted=permuted)
 
 
-register_conversion(H2Matrix, "hodlr", _hodlr_from_h2)
+register_conversion(H2Matrix, "hodlr", _hodlr_from_h2_any)
 register_conversion(H2Matrix, "hmatrix", _hmatrix_from_h2)
 register_conversion(H2Matrix, "dense", _to_dense)
 register_conversion(HODLRMatrix, "dense", _to_dense)

@@ -54,11 +54,37 @@ from .protocol import HierarchicalOperator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..gp.regression import GaussianProcess
+    from ..persist.cache import ArtifactCache
     from ..solvers.hodlr_factor import HODLRFactorization
     from ..solvers.krylov import KrylovResult
 
 #: Hierarchical formats :func:`compress` can target directly.
 FORMATS: Tuple[str, ...] = ("h2", "hss", "hodlr", "hmatrix")
+
+
+def _resolve_cache(
+    cache: "ArtifactCache | None", cache_dir: object | None
+) -> "ArtifactCache | None":
+    """The artifact cache of a call: explicit instance > ``cache_dir=`` >
+    ``REPRO_CACHE_DIR`` > off."""
+    from ..persist.cache import ArtifactCache, default_cache
+
+    if cache is not None:
+        return cache
+    if cache_dir is not None:
+        return ArtifactCache(cache_dir)
+    return default_cache()
+
+
+def _default_admissibility(
+    fmt: str, eta: float, admissibility: object | None
+) -> object | None:
+    """The admissibility a compression request resolves to (cache-key form)."""
+    if admissibility is not None:
+        return admissibility
+    if fmt == "hodlr":
+        return None  # HODLR needs no block partition
+    return WeakAdmissibility() if fmt == "hss" else GeneralAdmissibility(eta=eta)
 
 
 def _resolve_geometry(
@@ -143,6 +169,8 @@ def compress(
     extractor: Optional[EntryExtractor] = None,
     config: ConstructionConfig | None = None,
     full_result: bool = False,
+    cache: "ArtifactCache | None" = None,
+    cache_dir: object | None = None,
 ) -> "HierarchicalOperator | ConstructionResult":
     """Compress a kernel matrix into a hierarchical operator in one call.
 
@@ -182,6 +210,17 @@ def compress(
         Return the :class:`~repro.core.builder.ConstructionResult` (with
         sampling/launch statistics) instead of just the operator
         (``"h2"``/``"hss"`` only).
+    cache, cache_dir:
+        Opt into the content-addressed artifact cache
+        (:class:`~repro.persist.cache.ArtifactCache`): pass an instance, a
+        directory, or set ``REPRO_CACHE_DIR``.  When the exact same
+        compression (points, kernel identity, tolerance, format, geometry
+        and sampling knobs, seed) was stored before, the operator is loaded
+        (zero-copy memmap) instead of re-constructed; otherwise it is
+        constructed and stored.  Only plain requests participate — expert
+        overrides (``tree``/``partition``/``operator``/``extractor``/
+        ``config``), dense-array kernels, non-integer seeds and
+        ``full_result=True`` always construct.
 
     Returns
     -------
@@ -193,6 +232,50 @@ def compress(
     if fmt not in FORMATS:
         raise ValueError(f"unknown format {format!r}; available: {list(FORMATS)}")
     policy = policy if policy is not None else ExecutionPolicy()
+
+    artifact_cache = _resolve_cache(cache, cache_dir)
+    artifact_key = None
+    if (
+        artifact_cache is not None
+        and points is not None
+        and isinstance(kernel, KernelFunction)
+        and tree is None
+        and partition is None
+        and operator is None
+        and extractor is None
+        and config is None
+        and not full_result
+        and isinstance(seed, (int, np.integer, type(None)))
+    ):
+        from ..persist.format import ArtifactError
+
+        try:
+            artifact_key = artifact_cache.key(
+                points,
+                kernel,
+                tol=tol,
+                format=fmt,
+                leaf_size=leaf_size,
+                admissibility=_default_admissibility(fmt, eta, admissibility),
+                seed=None if seed is None else int(seed),
+                extra={
+                    "sample_block_size": int(sample_block_size),
+                    "adaptive": bool(adaptive),
+                    "initial_samples": initial_samples,
+                    "max_samples": max_samples,
+                    "max_rank": max_rank,
+                },
+            )
+        except ArtifactError:
+            # Unhashable request (custom admissibility, ...): construct as usual.
+            artifact_key = None
+        else:
+            cached = artifact_cache.get(artifact_key, tracer=policy.tracer)
+            if cached is not None:
+                if hasattr(cached, "apply_backend"):
+                    cached.apply_backend = policy.resolve_backend()
+                return cached
+
     tree, partition = _resolve_geometry(
         points, fmt, leaf_size, eta, admissibility, tree, partition
     )
@@ -213,6 +296,8 @@ def compress(
             tracer=policy.tracer,
         ).construct()
         result.matrix.apply_backend = policy.resolve_backend()
+        if artifact_key is not None:
+            artifact_cache.put(artifact_key, result.matrix)
         return result if full_result else result.matrix
 
     if full_result:
@@ -222,8 +307,12 @@ def compress(
         )
     entries = extractor.extract
     if fmt == "hodlr":
-        return build_hodlr(tree, entries, tol=tol, max_rank=max_rank)
-    return build_hmatrix_aca(partition, entries, tol=tol, max_rank=max_rank)
+        compressed = build_hodlr(tree, entries, tol=tol, max_rank=max_rank)
+    else:
+        compressed = build_hmatrix_aca(partition, entries, tol=tol, max_rank=max_rank)
+    if artifact_key is not None:
+        artifact_cache.put(artifact_key, compressed)
+    return compressed
 
 
 class Session:
@@ -249,6 +338,11 @@ class Session:
     policy:
         :class:`~repro.api.policy.ExecutionPolicy` for every construction,
         apply and solve of this session.
+    cache, cache_dir:
+        Opt into the content-addressed artifact cache for every
+        :meth:`compress` of the session (an
+        :class:`~repro.persist.cache.ArtifactCache`, a directory, or the
+        ``REPRO_CACHE_DIR`` environment variable).
     """
 
     def __init__(
@@ -261,6 +355,8 @@ class Session:
         distance_cache: str = "auto",
         cache_limit_mb: float = 600.0,
         seed: SeedLike = 0,
+        cache: "ArtifactCache | None" = None,
+        cache_dir: object | None = None,
     ):
         self.policy = policy if policy is not None else ExecutionPolicy()
         self._points = np.ascontiguousarray(
@@ -276,6 +372,7 @@ class Session:
             seed=seed,
             construction_path=self.policy.construction_path,
             tracer=self.policy.tracer,
+            artifact_cache=_resolve_cache(cache, cache_dir),
         )
         self._result: Optional[ConstructionResult] = None
         self._operator: Optional[HierarchicalOperator] = None

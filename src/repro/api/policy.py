@@ -21,12 +21,12 @@ Environment overrides (read when a knob is left at ``"auto"``):
 
 from __future__ import annotations
 
-import os
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Union
 
 from ..observe.tracer import NOOP_TRACER
+from ..utils.env import env_choice, normalize_choice
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..batched.backend import BatchedBackend
@@ -84,6 +84,8 @@ class ExecutionPolicy:
     )
 
     def __post_init__(self) -> None:
+        if isinstance(self.construction_path, str):
+            self.construction_path = normalize_choice(self.construction_path)
         if self.construction_path not in ("auto", "packed", "loop"):
             raise ValueError(
                 "construction_path must be 'auto', 'packed' or 'loop'"
@@ -132,9 +134,9 @@ class ExecutionPolicy:
 
     def resolve_construction_path(self) -> str:
         """``"packed"`` or ``"loop"`` after applying the env override."""
-        mode = self.construction_path
+        mode = normalize_choice(self.construction_path)
         if mode == "auto":
-            mode = os.environ.get("REPRO_CONSTRUCT_PATH", "packed").lower()
+            mode = env_choice("REPRO_CONSTRUCT_PATH", "packed")
         if mode not in ("packed", "loop"):
             raise ValueError(
                 f"unknown construction path {mode!r}; use 'packed' or 'loop'"
@@ -163,10 +165,8 @@ class ExecutionPolicy:
     def from_env(cls, **overrides: object) -> "ExecutionPolicy":
         """Policy snapshot of the current ``REPRO_*`` environment."""
         values: dict = {
-            "backend": os.environ.get("REPRO_BACKEND", "vectorized"),
-            "construction_path": os.environ.get(
-                "REPRO_CONSTRUCT_PATH", "packed"
-            ).lower(),
+            "backend": env_choice("REPRO_BACKEND", "vectorized"),
+            "construction_path": env_choice("REPRO_CONSTRUCT_PATH", "packed"),
         }
         values.update(overrides)
         return cls(**values)

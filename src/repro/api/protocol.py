@@ -89,6 +89,17 @@ class HierarchicalOperator(ABC):
     ``permuted=`` is uniform across every method that takes it: ``False``
     (default) means inputs and outputs use the original point ordering,
     ``True`` the cluster-tree ordering.
+
+    **Complex-dtype contract.** The stored operators are real (float64).
+    Applying one to a complex vector or block is still well defined and
+    exact: ``A (x_re + i x_im) = A x_re + i A x_im``, so every apply method
+    accepts complex inputs, applies the real operator to the real and
+    imaginary parts separately, and returns a complex result — the same
+    semantics as :class:`scipy.sparse.linalg.LinearOperator`.  Inputs are
+    never silently cast to ``float64``; the imaginary part is never
+    dropped.  (Real-valued subsystems that cannot honour this contract —
+    the Krylov solvers — raise ``TypeError`` on complex data instead of
+    returning wrong numbers.)
     """
 
     @classmethod
@@ -157,6 +168,26 @@ class HierarchicalOperatorMixin:
     def _apply(
         self, x: np.ndarray, permuted: bool, transpose: bool, **kwargs: object
     ) -> np.ndarray:
+        x = np.asarray(x)
+        if np.iscomplexobj(x):
+            # The stored operator is real; a complex block applies to the
+            # real and imaginary parts separately (scipy LinearOperator
+            # semantics).  The old float64 cast silently dropped the
+            # imaginary part and returned wrong numbers under a mere
+            # ComplexWarning.
+            real = self._apply(
+                np.ascontiguousarray(x.real, dtype=np.float64),
+                permuted,
+                transpose,
+                **kwargs,
+            )
+            imag = self._apply(
+                np.ascontiguousarray(x.imag, dtype=np.float64),
+                permuted,
+                transpose,
+                **kwargs,
+            )
+            return real + 1j * imag
         x = np.asarray(x, dtype=np.float64)
         single = x.ndim == 1
         if single:
@@ -187,7 +218,7 @@ class HierarchicalOperatorMixin:
         self, x: np.ndarray, permuted: bool = False, **kwargs: object
     ) -> np.ndarray:
         """Multiply by a block of vectors ``(n, k)`` in one batched apply."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
         if x.ndim != 2:
             raise ValueError(f"matmat expects a 2-D block, got shape {x.shape}")
         return self._apply(x, permuted=permuted, transpose=False, **kwargs)
@@ -202,13 +233,27 @@ class HierarchicalOperatorMixin:
         self, x: np.ndarray, permuted: bool = False, **kwargs: object
     ) -> np.ndarray:
         """Transpose apply to a block of vectors, ``A^T X``."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
         if x.ndim != 2:
             raise ValueError(f"rmatmat expects a 2-D block, got shape {x.shape}")
         return self._apply(x, permuted=permuted, transpose=True, **kwargs)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        """Write this operator to ``path`` in the :mod:`repro.persist` format.
+
+        The artifact round-trips exactly: ``load(path).to_dense()`` is
+        bitwise-equal to ``self.to_dense()``.  ``save`` is a convenience of
+        the mixin, not part of :data:`PROTOCOL_METHODS` — third-party
+        structural conformers are not required to provide it; use
+        :func:`repro.persist.save` for any registered format.
+        """
+        from ..persist import save as _save
+
+        _save(self, path)
 
     # ----------------------------------------------------------------- memory
     def _memory_components(self) -> Dict[str, int]:

@@ -28,7 +28,6 @@ also records one "kernel launch" per group in the attached
 
 from __future__ import annotations
 
-import os
 from abc import ABC, abstractmethod
 from collections import defaultdict
 from typing import Callable, Dict, List, Sequence, Tuple
@@ -37,6 +36,7 @@ import numpy as np
 
 from ..linalg.interpolative import InterpolativeDecomposition, row_id
 from ..linalg.qr import smallest_r_diagonal
+from ..utils.env import env_choice, normalize_choice
 from ..utils.rng import SeedLike, as_generator
 from .counters import KernelLaunchCounter
 from .variable_batch import VariableBatch
@@ -444,7 +444,7 @@ def register_backend(
     shadowed deliberately, e.g. to route ``"vectorized"`` through an
     instrumented backend in a test).
     """
-    keys = [key.lower() for key in (name, *aliases)]
+    keys = [normalize_choice(key) for key in (name, *aliases)]
     if not overwrite:
         # Validate every key before mutating so a conflicting alias does not
         # leave a half-registered backend behind.
@@ -483,9 +483,9 @@ def get_backend(
     """
     if isinstance(name, BatchedBackend):
         return name
-    if name is None or name.lower() == "auto":
-        name = os.environ.get("REPRO_BACKEND", "vectorized")
-    key = name.lower()
+    if name is None or normalize_choice(name) == "auto":
+        name = env_choice("REPRO_BACKEND", "vectorized")
+    key = normalize_choice(name)
     if key not in _BACKENDS:
         raise ValueError(
             f"unknown backend {name!r}; available: {sorted(set(_BACKENDS))}"

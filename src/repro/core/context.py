@@ -200,6 +200,7 @@ class ContextStatistics:
     plan_compilations: int = 0
     plan_reuses: int = 0
     result_cache_hits: int = 0
+    artifact_cache_hits: int = 0
     sample_columns_cached: int = 0
     construction_plan_compilations: int = 0
     setup_seconds: float = 0.0
@@ -210,6 +211,7 @@ class ContextStatistics:
             "plan_compilations": self.plan_compilations,
             "plan_reuses": self.plan_reuses,
             "result_cache_hits": self.result_cache_hits,
+            "artifact_cache_hits": self.artifact_cache_hits,
             "sample_columns_cached": self.sample_columns_cached,
             "construction_plan_compilations": self.construction_plan_compilations,
             "setup_seconds": self.setup_seconds,
@@ -258,6 +260,14 @@ class GeometryContext:
         :class:`~repro.core.config.ConstructionConfig`).  An
         :class:`~repro.api.policy.ExecutionPolicy` threads its path choice
         through here.
+    artifact_cache:
+        Optional :class:`~repro.persist.cache.ArtifactCache`.  When given,
+        :meth:`construct` consults it before constructing (the key covers
+        points, kernel identity, tolerance, leaf size, admissibility,
+        sample block size and seed) and stores every freshly constructed
+        operator.  Requires an integer (or ``None``) ``seed`` — with a live
+        ``Generator`` the sample bank is not reproducible, so artifact
+        caching is silently disabled.
     """
 
     def __init__(
@@ -271,6 +281,7 @@ class GeometryContext:
         seed: SeedLike = 0,
         construction_path: str = "auto",
         tracer: object | None = None,
+        artifact_cache: object | None = None,
     ):
         start = time.perf_counter()
         # One backend instance (hence one launch counter) for the lifetime of
@@ -287,6 +298,16 @@ class GeometryContext:
         else:
             self.tracer = getattr(self.backend, "tracer", None)
         self.construction_path = construction_path
+        # Artifact caching needs a reproducible construction: only integer
+        # (or None) seeds key deterministically, a live Generator does not.
+        seed_is_hashable = seed is None or isinstance(seed, (int, np.integer))
+        self.artifact_cache = artifact_cache if seed_is_hashable else None
+        self._artifact_seed = int(seed) if isinstance(seed, (int, np.integer)) else None
+        self._artifact_points: Optional[np.ndarray] = (
+            np.ascontiguousarray(np.atleast_2d(np.asarray(points, dtype=np.float64)))
+            if self.artifact_cache is not None
+            else None
+        )
         rng = as_generator(seed)
 
         self.tree: ClusterTree = ClusterTree.build(points, leaf_size=leaf_size)
@@ -398,6 +419,62 @@ class GeometryContext:
         ):
             self.statistics.result_cache_hits += 1
             return self._last_result
+
+        artifact_key = None
+        if (
+            cacheable
+            and self.artifact_cache is not None
+            and isinstance(kernel, KernelFunction)
+        ):
+            from ..persist.format import ArtifactError
+
+            try:
+                artifact_key = self.artifact_cache.key(
+                    self._artifact_points,
+                    kernel,
+                    tol=tolerance,
+                    format="h2",
+                    leaf_size=self.tree.leaf_size,
+                    admissibility=self.partition.admissibility,
+                    seed=self._artifact_seed,
+                    extra={"sample_block_size": int(sample_block_size)},
+                )
+            except ArtifactError:
+                # Unhashable request (custom admissibility, ...): construct.
+                artifact_key = None
+            else:
+                load_start = time.perf_counter()
+                matrix = self.artifact_cache.get(artifact_key, tracer=self.tracer)
+                if matrix is not None:
+                    elapsed = time.perf_counter() - load_start
+                    matrix.apply_backend = self.backend
+                    result = ConstructionResult(
+                        matrix=matrix,
+                        config=ConstructionConfig(
+                            tolerance=tolerance,
+                            sample_block_size=sample_block_size,
+                            backend=self.backend,
+                            construction_path=self.construction_path,
+                        ),
+                        total_samples=0,
+                        operator_applications=0,
+                        entries_evaluated=0,
+                        elapsed_seconds=elapsed,
+                        phase_seconds={"load": elapsed},
+                        kernel_launches={},
+                        total_kernel_launches=0,
+                        kernel_calls={},
+                        total_kernel_calls=0,
+                        norm_estimate=0.0,
+                        converged=True,
+                        construction_path="cache",
+                    )
+                    self.statistics.artifact_cache_hits += 1
+                    self._last_kernel = copy.deepcopy(kernel)
+                    self._last_key = (float(tolerance), int(sample_block_size))
+                    self._last_result = result
+                    return result
+
         if config is None:
             config = ConstructionConfig(
                 tolerance=tolerance,
@@ -451,6 +528,8 @@ class GeometryContext:
             self._last_kernel = copy.deepcopy(kernel)
             self._last_key = (float(tolerance), int(sample_block_size))
             self._last_result = result
+        if artifact_key is not None:
+            self.artifact_cache.put(artifact_key, result.matrix)
         return result
 
     # ------------------------------------------------------------- diagnostics

@@ -47,7 +47,11 @@ class BasisTree:
 
     # ------------------------------------------------------------------ write
     def set_leaf_basis(self, node: int, basis: np.ndarray) -> None:
-        basis = np.asarray(basis, dtype=np.float64)
+        # Contiguous storage: the apply-plan stacking, the persist writer and
+        # dense reconstruction all consume these arrays; normalizing here makes
+        # downstream BLAS results independent of the constructor's slicing
+        # (a saved-and-reloaded matrix reproduces to_dense() bitwise).
+        basis = np.ascontiguousarray(basis, dtype=np.float64)
         expected_rows = self.tree.cluster_size(node)
         if basis.shape[0] != expected_rows:
             raise ValueError(
@@ -59,7 +63,7 @@ class BasisTree:
         self._explicit_cache.pop(node, None)
 
     def set_transfer(self, node: int, transfer: np.ndarray) -> None:
-        self.transfers[node] = np.asarray(transfer, dtype=np.float64)
+        self.transfers[node] = np.ascontiguousarray(transfer, dtype=np.float64)
         self._explicit_cache.clear()
 
     def set_rank(self, node: int, rank: int) -> None:

@@ -51,26 +51,43 @@ class LinearOperator:
     def n(self) -> int:
         return self.shape[1]
 
+    def _split_complex(self, x: np.ndarray, apply) -> np.ndarray:
+        """Apply the real operator to a complex input part-by-part.
+
+        ``A (x_re + i x_im) = A x_re + i A x_im`` — the scipy
+        ``LinearOperator`` semantics; the imaginary part is never silently
+        dropped by a float64 cast.
+        """
+        real = apply(np.ascontiguousarray(x.real, dtype=np.float64))
+        imag = apply(np.ascontiguousarray(x.imag, dtype=np.float64))
+        return real + 1j * imag
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Apply the operator to a vector ``(n,)`` or block ``(n, k)``."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
         if x.shape[0] != self.shape[1]:
             raise ValueError(
                 f"operator has {self.shape[1]} columns, got input with {x.shape[0]} rows"
             )
+        if np.iscomplexobj(x):
+            return self._split_complex(x, self.matvec)
+        x = np.asarray(x, dtype=np.float64)
         if x.ndim == 2 and self._matmat is not None:
             return np.asarray(self._matmat(x))
         return np.asarray(self._matvec(x))
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
         """Apply to a block ``(n, k)`` through the dedicated multi-RHS path."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
         if x.ndim != 2:
             raise ValueError(f"matmat expects a 2-D block, got shape {x.shape}")
         return self.matvec(x)
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """Apply the transpose ``A^T x`` (defaults to ``matvec`` when symmetric)."""
+        x = np.asarray(x)
+        if np.iscomplexobj(x):
+            return self._split_complex(x, self.rmatvec)
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 2 and self._rmatmat is not None:
             return np.asarray(self._rmatmat(x))
@@ -80,7 +97,7 @@ class LinearOperator:
 
     def rmatmat(self, x: np.ndarray) -> np.ndarray:
         """Transpose apply to a block ``(n, k)``."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
         if x.ndim != 2:
             raise ValueError(f"rmatmat expects a 2-D block, got shape {x.shape}")
         return self.rmatvec(x)

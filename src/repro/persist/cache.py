@@ -1,0 +1,298 @@
+"""Content-addressed artifact cache: cache-aside persistence for operators.
+
+The construction is the expensive step of the whole pipeline; the operator it
+produces is a pure function of (geometry, kernel, tolerance, format, library
+format version).  :class:`ArtifactCache` hashes exactly those ingredients
+into a SHA-256 key and stores one artifact file per key, so any process that
+asks for the same compression again loads it in milliseconds (zero-copy
+memmap) instead of re-constructing — the same cache-aside discipline as a
+Redis layer, but for operators, and consulted automatically by
+:func:`repro.compress` / :class:`repro.Session` /
+:class:`repro.GeometryContext` when a cache is configured (``cache_dir=`` or
+the ``REPRO_CACHE_DIR`` environment variable).
+
+Key ingredients (any change produces a different key, any irrelevant change —
+backend, tracer, construction path — does not):
+
+* the point coordinates (raw float64 bytes) and the cluster-tree leaf size;
+* the admissibility descriptor (weak, or general with its ``eta``);
+* the kernel *identity*: class qualname plus scalar hyperparameters,
+  recursing through composite kernels;
+* the construction tolerance, the requested format (``hss`` and ``h2`` hash
+  differently even though both store an ``h2`` artifact), the registered
+  ``format_version`` of the stored layout, the sketching seed and any extra
+  sampling knobs the caller passes.
+
+Entries are written atomically (temp file + rename) so concurrent readers
+never see a torn artifact; eviction is LRU by file modification time against
+an optional byte budget.  Hits/misses are counted both per cache instance and
+in the process-wide :func:`repro.observe.metrics` registry
+(``persist.cache.hits`` / ``persist.cache.misses``); loads run under a
+``persist.load`` span when a tracer is supplied.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..kernels.base import KernelFunction
+from ..observe.metrics import metrics
+from ..utils.env import normalize_choice
+from .format import ArtifactError
+from .serializers import (
+    admissibility_descriptor,
+    format_version,
+    load,
+    registered_formats,
+    save,
+)
+
+#: Formats that persist as another format's artifact (HSS is H2 on the weak
+#: partition); the *requested* name still participates in the key.
+_STORAGE_ALIASES = {"hss": "h2"}
+
+#: File extension of cache entries.
+ARTIFACT_SUFFIX = ".repro"
+
+
+def kernel_descriptor(kernel: KernelFunction) -> dict:
+    """JSON identity of a kernel: class qualname + scalar hyperparameters.
+
+    Recurses through composite kernels (``ScaledKernel.kernel``,
+    ``SumKernel.kernels``) so two compositions with identical parameter
+    dictionaries but different component classes hash differently.
+    """
+    descriptor: dict = {
+        "class": f"{type(kernel).__module__}.{type(kernel).__qualname__}"
+    }
+    params = kernel.hyperparameters() if hasattr(kernel, "hyperparameters") else {}
+    descriptor["params"] = {
+        str(name): float(value) for name, value in sorted(params.items())
+    }
+    inner = getattr(kernel, "kernel", None)
+    if isinstance(inner, KernelFunction):
+        descriptor["inner"] = kernel_descriptor(inner)
+    components = getattr(kernel, "kernels", None)
+    if isinstance(components, (tuple, list)):
+        descriptor["components"] = [
+            kernel_descriptor(component)
+            for component in components
+            if isinstance(component, KernelFunction)
+        ]
+    return descriptor
+
+
+class ArtifactCache:
+    """A directory of operator artifacts addressed by construction content.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created (with parents) on first use.
+    max_bytes:
+        Optional byte budget.  After every :meth:`put` the least-recently-used
+        entries (by file mtime) are evicted until the cache fits; ``None``
+        (default) never evicts.
+    mmap:
+        Whether :meth:`get` loads entries as zero-copy memmap views
+        (default) or materialised in-memory copies.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        max_bytes: int | None = None,
+        mmap: bool = True,
+    ):
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
+        self.mmap = bool(mmap)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ----------------------------------------------------------------- keying
+    def key(
+        self,
+        points: np.ndarray,
+        kernel: KernelFunction,
+        *,
+        tol: float,
+        format: str = "h2",
+        leaf_size: int = 64,
+        admissibility: object | None = None,
+        seed: int | None = None,
+        extra: Optional[dict] = None,
+    ) -> str:
+        """The SHA-256 content key of one compression request.
+
+        ``extra`` carries any further construction knobs that change the
+        result (sampling block size, rank caps, ...); it must be
+        JSON-serializable.  Raises :class:`ArtifactError` for formats without
+        a registered serializer or admissibilities without a descriptor.
+        """
+        fmt = normalize_choice(format)
+        stored = _STORAGE_ALIASES.get(fmt, fmt)
+        if stored not in registered_formats():
+            raise ArtifactError(
+                f"format {format!r} has no registered persist serializer; "
+                f"registered: {registered_formats()}"
+            )
+        pts = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(points, dtype=np.float64))
+        )
+        digest = hashlib.sha256()
+        digest.update(b"repro.persist.key.v1\0")
+        digest.update(str(pts.shape).encode("ascii"))
+        digest.update(pts.tobytes())
+        payload = {
+            "leaf_size": int(leaf_size),
+            "admissibility": (
+                admissibility_descriptor(admissibility)
+                if admissibility is not None
+                else None
+            ),
+            "kernel": kernel_descriptor(kernel),
+            "tol": float(tol),
+            "format": fmt,
+            "format_version": format_version(stored),
+            "seed": None if seed is None else int(seed),
+            "extra": extra or {},
+        }
+        digest.update(json.dumps(payload, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Artifact path of ``key`` (whether or not the entry exists)."""
+        return self.directory / f"{key}{ARTIFACT_SUFFIX}"
+
+    # ---------------------------------------------------------------- get/put
+    def get(self, key: str, tracer: object | None = None):
+        """The cached operator for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU timestamp.  Corrupted or
+        version-mismatched entries are dropped and count as misses — the
+        caller rebuilds and overwrites them.
+        """
+        path = self.path_for(key)
+        registry = metrics()
+        if path.exists():
+            try:
+                if tracer is not None and getattr(tracer, "enabled", False):
+                    with tracer.span("persist.load", category="persist", key=key):
+                        operator = load(path, mmap=self.mmap)
+                else:
+                    operator = load(path, mmap=self.mmap)
+            except ArtifactError:
+                # A torn/stale entry must not poison the cache: drop it and
+                # report a miss so the caller reconstructs.
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - race with other process
+                    pass
+            else:
+                self.hits += 1
+                registry.counter("persist.cache.hits").inc()
+                now = time.time()
+                try:
+                    os.utime(path, (now, now))
+                except OSError:  # pragma: no cover - entry evicted meanwhile
+                    pass
+                return operator
+        self.misses += 1
+        registry.counter("persist.cache.misses").inc()
+        return None
+
+    def put(self, key: str, operator: object) -> Path:
+        """Store ``operator`` under ``key`` (atomic write), evict over budget."""
+        path = save(operator, self.path_for(key))
+        self._enforce_budget()
+        return path
+
+    def get_or_build(
+        self,
+        key: str,
+        builder: Callable[[], object],
+        tracer: object | None = None,
+    ):
+        """The cached operator for ``key``, building and storing it on a miss."""
+        operator = self.get(key, tracer=tracer)
+        if operator is None:
+            operator = builder()
+            self.put(key, operator)
+        return operator
+
+    # -------------------------------------------------------------- lifecycle
+    def _entries(self):
+        return sorted(
+            (p for p in self.directory.glob(f"*{ARTIFACT_SUFFIX}") if p.is_file()),
+            key=lambda p: p.stat().st_mtime,
+        )
+
+    def _enforce_budget(self) -> None:
+        if self.max_bytes is None:
+            return
+        entries = self._entries()
+        total = sum(p.stat().st_size for p in entries)
+        for path in entries:  # oldest mtime first — LRU
+            if total <= self.max_bytes:
+                break
+            size = path.stat().st_size
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - race with other process
+                continue
+            total -= size
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Delete every cache entry."""
+        for path in self._entries():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - race with other process
+                pass
+
+    # ------------------------------------------------------------- reporting
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._entries())
+
+    def statistics(self) -> Dict[str, object]:
+        entries = self._entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        stats = self.statistics()
+        return (
+            f"ArtifactCache({stats['directory']!r}, entries={stats['entries']}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def default_cache(mmap: bool = True) -> Optional[ArtifactCache]:
+    """The environment-configured cache (``REPRO_CACHE_DIR``), or ``None``.
+
+    The path value is stripped but never casefolded (paths are
+    case-sensitive); unset or blank means caching stays off.
+    """
+    from ..utils.env import env_path
+
+    directory = env_path("REPRO_CACHE_DIR")
+    if directory is None:
+        return None
+    return ArtifactCache(directory, mmap=mmap)

@@ -1,0 +1,195 @@
+"""The ``REPROART`` binary container: header JSON + aligned raw buffers.
+
+One artifact file holds one compressed operator:
+
+* an 20-byte preamble — the magic ``b"REPROART"``, a ``uint32`` container
+  version and a ``uint64`` header length;
+* a UTF-8 JSON header carrying the format name, the per-format
+  ``format_version``, format-specific metadata (key lists, scalars) and a
+  buffer directory (name, dtype, shape, offset, byte count);
+* the raw array buffers, each aligned to :data:`ALIGNMENT` bytes.
+
+The layout is deliberately dumb so it is fast: arrays are written as their
+contiguous bytes and read back as *views into a single* :class:`numpy.memmap`
+— opening a multi-GB operator costs milliseconds and no copies, and the OS
+pages block data in on first touch.  Buffer offsets in the directory are
+relative to the (aligned) start of the data section, so the header length
+never feeds back into the offsets it describes.
+
+Writes are atomic: the file is assembled under a temporary name in the target
+directory and :func:`os.replace`-d into place, so readers (and the
+content-addressed :class:`~repro.persist.cache.ArtifactCache`) never observe a
+half-written artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: File magic of every artifact.
+MAGIC = b"REPROART"
+#: Version of the container layout (preamble + header + buffer directory).
+#: Independent of the per-format ``format_version`` carried in the header.
+CONTAINER_VERSION = 1
+#: Buffer alignment in bytes — generous enough for any numpy dtype and for
+#: cache-line/SIMD-friendly access through the memmap.
+ALIGNMENT = 64
+
+_PREAMBLE = struct.Struct("<8sIQ")
+
+
+class ArtifactError(Exception):
+    """Base error of the :mod:`repro.persist` subsystem."""
+
+
+class ArtifactFormatError(ArtifactError):
+    """The file is not a valid artifact (bad magic, corrupt header, bad bounds)."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact was written by an incompatible container/format version."""
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def write_artifact(
+    path: str | os.PathLike,
+    format_name: str,
+    format_version: int,
+    meta: dict,
+    buffers: Sequence[Tuple[str, np.ndarray]],
+) -> Path:
+    """Write one artifact atomically and return its path.
+
+    ``buffers`` is an *ordered* sequence of ``(name, array)`` pairs; the order
+    is preserved in the buffer directory, so serializers can rely on it to
+    reconstruct insertion-ordered dictionaries exactly.
+    """
+    path = Path(path)
+    directory: List[dict] = []
+    arrays: List[Tuple[int, np.ndarray]] = []
+    offset = 0
+    for name, array in buffers:
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        directory.append(
+            {
+                "name": str(name),
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": int(array.nbytes),
+            }
+        )
+        arrays.append((offset, array))
+        offset += array.nbytes
+
+    header = {
+        "container_version": CONTAINER_VERSION,
+        "format": str(format_name),
+        "format_version": int(format_version),
+        "meta": meta,
+        "buffers": directory,
+    }
+    payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    data_start = _align(_PREAMBLE.size + len(payload))
+
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(_PREAMBLE.pack(MAGIC, CONTAINER_VERSION, len(payload)))
+            fh.write(payload)
+            fh.write(b"\0" * (data_start - _PREAMBLE.size - len(payload)))
+            position = 0
+            for buffer_offset, array in arrays:
+                if buffer_offset > position:
+                    fh.write(b"\0" * (buffer_offset - position))
+                    position = buffer_offset
+                fh.write(array.data)
+                position += array.nbytes
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
+    return path
+
+
+def read_artifact(
+    path: str | os.PathLike, mmap: bool = True
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Read one artifact: ``(header, {buffer name -> array})``.
+
+    With ``mmap=True`` (default) every returned array is a zero-copy
+    read-only view into one :class:`numpy.memmap` over the file; with
+    ``mmap=False`` the file is read into memory once (the views are still
+    marked read-only for symmetry).  Raises :class:`ArtifactFormatError` on
+    anything malformed and :class:`ArtifactVersionError` on a container
+    written by a newer library.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            preamble = fh.read(_PREAMBLE.size)
+            if len(preamble) < _PREAMBLE.size:
+                raise ArtifactFormatError(f"{path}: truncated artifact preamble")
+            magic, container_version, header_length = _PREAMBLE.unpack(preamble)
+            if magic != MAGIC:
+                raise ArtifactFormatError(
+                    f"{path}: not a repro artifact (bad magic {magic!r})"
+                )
+            if container_version > CONTAINER_VERSION:
+                raise ArtifactVersionError(
+                    f"{path}: container version {container_version} is newer "
+                    f"than this library supports ({CONTAINER_VERSION})"
+                )
+            payload = fh.read(header_length)
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {path}: {exc}") from exc
+    if len(payload) != header_length:
+        raise ArtifactFormatError(f"{path}: truncated artifact header")
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactFormatError(f"{path}: corrupted artifact header: {exc}") from exc
+    for key in ("format", "format_version", "meta", "buffers"):
+        if key not in header:
+            raise ArtifactFormatError(f"{path}: artifact header missing {key!r}")
+
+    data_start = _align(_PREAMBLE.size + header_length)
+    if mmap:
+        raw = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        raw = np.fromfile(path, dtype=np.uint8)
+        raw.flags.writeable = False
+    buffers: Dict[str, np.ndarray] = {}
+    for entry in header["buffers"]:
+        try:
+            name = entry["name"]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(s) for s in entry["shape"])
+            offset = data_start + int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"{path}: malformed buffer directory entry: {exc}"
+            ) from exc
+        expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if expected != nbytes:
+            raise ArtifactFormatError(
+                f"{path}: buffer {name!r} declares {nbytes} bytes but its "
+                f"dtype/shape imply {expected}"
+            )
+        if offset < data_start or offset + nbytes > raw.size:
+            raise ArtifactFormatError(
+                f"{path}: buffer {name!r} exceeds the file bounds"
+            )
+        buffers[name] = raw[offset : offset + nbytes].view(dtype).reshape(shape)
+    return header, buffers

@@ -96,6 +96,14 @@ class _Preconditioner:
 
 def _prepare(a: object, b: np.ndarray, x0: np.ndarray | None):
     op = as_linear_operator(a, n=np.asarray(b).shape[0])
+    if np.iscomplexobj(b) or (x0 is not None and np.iscomplexobj(x0)):
+        # Refuse rather than silently cast: the solvers iterate in float64,
+        # and dropping the imaginary part would converge to the wrong system.
+        raise TypeError(
+            "Krylov solvers are real-valued: complex right-hand sides / "
+            "initial guesses are not supported. Solve the real and imaginary "
+            "parts separately, e.g. solve(A, b.real) and solve(A, b.imag)."
+        )
     b = np.asarray(b, dtype=np.float64).reshape(-1)
     if op.shape != (b.shape[0], b.shape[0]):
         raise ValueError(

@@ -1,5 +1,6 @@
-"""Small shared utilities: prefix sums, timers, validation, RNG helpers."""
+"""Small shared utilities: prefix sums, timers, validation, RNG/env helpers."""
 
+from .env import env_choice, env_path, normalize_choice
 from .prefix_sum import exclusive_prefix_sum, offsets_from_sizes, total_from_sizes
 from .timing import PhaseTimer, Timer
 from .validation import check_positive, check_square, require
@@ -16,4 +17,7 @@ __all__ = [
     "require",
     "as_generator",
     "spawn_generator",
+    "env_choice",
+    "env_path",
+    "normalize_choice",
 ]

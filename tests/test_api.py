@@ -160,6 +160,46 @@ class TestProtocolConformance:
         with pytest.raises(ValueError):
             op.matvec(np.ones(N + 1))
 
+    def test_complex_matvec_splits_real_imag(self, reference):
+        """A(x_re + i x_im) = A x_re + i A x_im — no silent .real truncation."""
+        _, op, dense = reference
+        rng = np.random.default_rng(7)
+        z = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        out = op.matvec(z)
+        assert np.iscomplexobj(out)
+        split = op.matvec(z.real.copy()) + 1j * op.matvec(z.imag.copy())
+        assert np.allclose(out, split, rtol=0, atol=1e-12)
+        assert rel(out, dense @ z) < 1e-6
+
+    def test_complex_matmat_rmatvec_rmatmat(self, reference):
+        _, op, dense = reference
+        rng = np.random.default_rng(8)
+        Z = rng.standard_normal((N, 2)) + 1j * rng.standard_normal((N, 2))
+        assert rel(op.matmat(Z), dense @ Z) < 1e-6
+        assert rel(op.rmatmat(Z), dense.T @ Z) < 1e-6
+        assert rel(op @ Z, dense @ Z) < 1e-6
+        z = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        assert rel(op.rmatvec(z), dense.T @ z) < 1e-6
+
+    def test_complex_permuted_matches_plain(self, conforming_operator):
+        _, op, _ = conforming_operator
+        tree = op.tree
+        rng = np.random.default_rng(9)
+        z = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        plain = op.matvec(z)
+        permuted = op.matvec(z[tree.perm], permuted=True)
+        assert np.allclose(permuted, plain[tree.perm], rtol=0, atol=1e-12)
+
+    def test_adapted_linear_operator_handles_complex(self, reference):
+        from repro import as_linear_operator
+
+        _, op, dense = reference
+        adapted = as_linear_operator(op)
+        rng = np.random.default_rng(10)
+        z = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        assert rel(adapted.matvec(z), dense @ z) < 1e-6
+        assert rel(adapted.rmatvec(z), dense.T @ z) < 1e-6
+
     def test_unified_memory_keys(self, conforming_operator):
         _, op, _ = conforming_operator
         mem = op.memory_bytes()
@@ -309,12 +349,20 @@ class TestConvertRegistry:
 
             conversion._CONVERSIONS.pop((H2Matrix, "sentinel"))
 
-    def test_strong_partition_rejected_for_hodlr(self, api_points, api_kernel):
+    def test_strong_partition_converts_to_hodlr(self, api_points, api_kernel):
+        """General-admissibility H2 re-compresses into HODLR (ACA per block)
+        instead of leaking the internal weak-partition ValueError."""
         strong = compress(
             api_points, api_kernel, format="h2", tol=TOL, leaf_size=LEAF, seed=7
         )
-        with pytest.raises(ValueError):
-            convert(strong, "hodlr")
+        hodlr = convert(strong, "hodlr", tol=1e-8)
+        assert isinstance(hodlr, HODLRMatrix)
+        assert rel(hodlr.to_dense(), strong.to_dense()) < 1e-6
+
+    def test_weak_partition_hodlr_conversion_stays_exact(self, weak_h2):
+        """The weak-partition fast path is untouched: exact, no re-compression."""
+        hodlr = convert(weak_h2, "hodlr")
+        assert np.allclose(hodlr.to_dense(), weak_h2.to_dense(), rtol=0, atol=1e-10)
 
 
 class TestExecutionPolicy:
@@ -351,6 +399,27 @@ class TestExecutionPolicy:
         assert repro.get_backend("auto").name == "serial"
         monkeypatch.delenv("REPRO_BACKEND")
         assert ExecutionPolicy().resolve_backend().name == "vectorized"
+
+    def test_env_override_normalizes_whitespace_and_case(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  SeRiAl ")
+        assert ExecutionPolicy().resolve_backend().name == "serial"
+        assert repro.get_backend("auto").name == "serial"
+        monkeypatch.setenv("REPRO_CONSTRUCT_PATH", " LOOP\t")
+        assert ExecutionPolicy().resolve_construction_path() == "loop"
+        policy = ExecutionPolicy.from_env()
+        assert policy.backend == "serial"
+        assert policy.construction_path == "loop"
+
+    def test_blank_env_values_fall_back_to_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "   ")
+        monkeypatch.setenv("REPRO_CONSTRUCT_PATH", "")
+        assert ExecutionPolicy().resolve_backend().name == "vectorized"
+        assert ExecutionPolicy().resolve_construction_path() == "packed"
+
+    def test_inline_values_normalized(self):
+        policy = ExecutionPolicy(construction_path=" Packed ")
+        assert policy.construction_path == "packed"
+        assert repro.get_backend(" Vectorized ").name == "vectorized"
 
     def test_from_env_snapshot(self, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "serial")

@@ -1,0 +1,480 @@
+"""Tests for repro.persist — versioned artifacts and the content-addressed cache.
+
+Covers the tentpole of the persistence PR:
+
+* exact (bitwise) save → load round trips for every hierarchical format,
+  through both the package functions and the ``op.save(path)`` mixin;
+* zero-copy loads: every block buffer is a read-only view into one memmap;
+* container validation: bad magic, truncated files, corrupted headers and
+  format-version mismatches fail loudly with typed errors;
+* :class:`repro.persist.ArtifactCache` keying, hit/miss accounting, LRU
+  eviction, corrupted-entry recovery;
+* the cache-aside integration of :func:`repro.compress`, :class:`repro.Session`
+  and :class:`repro.GeometryContext` (including the ``REPRO_CACHE_DIR``
+  environment opt-in), and the warm-vs-cold acceptance speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ArtifactCache, ExponentialKernel, Session, compress, uniform_cube_points
+from repro.persist import (
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactVersionError,
+    MAGIC,
+    kernel_descriptor,
+    load_operator,
+    read_artifact,
+    save_operator,
+    write_artifact,
+)
+
+N = 300
+LEAF = 32
+TOL = 1e-7
+
+
+@pytest.fixture(scope="module")
+def persist_points() -> np.ndarray:
+    return uniform_cube_points(N, dim=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def persist_kernel() -> ExponentialKernel:
+    return ExponentialKernel(length_scale=0.3)
+
+
+@pytest.fixture(scope="module", params=["h2", "hss", "hodlr", "hmatrix"])
+def saved_operator(request, persist_points, persist_kernel, tmp_path_factory):
+    fmt = request.param
+    op = compress(
+        persist_points, persist_kernel, format=fmt, tol=TOL, leaf_size=LEAF, seed=5
+    )
+    path = tmp_path_factory.mktemp("artifacts") / f"{fmt}.repro"
+    op.save(path)
+    return fmt, op, path
+
+
+class TestRoundTrip:
+    def test_bitwise_exact_to_dense(self, saved_operator):
+        _, op, path = saved_operator
+        loaded = load_operator(path)
+        assert type(loaded) is type(op)
+        assert loaded.shape == op.shape
+        assert np.array_equal(loaded.to_dense(), op.to_dense())
+        assert np.array_equal(
+            loaded.to_dense(permuted=True), op.to_dense(permuted=True)
+        )
+
+    def test_bitwise_exact_matvec(self, saved_operator):
+        _, op, path = saved_operator
+        loaded = load_operator(path)
+        x = np.random.default_rng(0).standard_normal(N)
+        assert np.array_equal(loaded.matvec(x), op.matvec(x))
+        assert np.array_equal(loaded.rmatvec(x), op.rmatvec(x))
+
+    def test_tree_round_trips(self, saved_operator):
+        _, op, path = saved_operator
+        loaded = load_operator(path)
+        assert np.array_equal(loaded.tree.perm, op.tree.perm)
+        assert np.array_equal(loaded.tree.points, op.tree.points)
+        assert loaded.tree.depth == op.tree.depth
+        assert loaded.tree.leaf_size == op.tree.leaf_size
+
+    def test_materialized_load_matches(self, saved_operator):
+        _, op, path = saved_operator
+        loaded = load_operator(path, mmap=False)
+        assert np.array_equal(loaded.to_dense(), op.to_dense())
+
+    def test_save_function_matches_mixin(self, saved_operator, tmp_path):
+        fmt, op, _ = saved_operator
+        path = save_operator(op, tmp_path / "again.repro")
+        assert np.array_equal(load_operator(path).to_dense(), op.to_dense())
+
+    def test_statistics_preserved(self, saved_operator):
+        _, op, path = saved_operator
+        loaded = load_operator(path)
+        assert loaded.statistics()["format"] == op.statistics()["format"]
+        assert loaded.memory_bytes()["total"] == op.memory_bytes()["total"]
+
+
+class TestZeroCopy:
+    def test_buffers_are_memmap_views(self, saved_operator):
+        _, _, path = saved_operator
+        _, buffers = read_artifact(path)
+        assert buffers
+        for name, array in buffers.items():
+            assert isinstance(array.base, np.memmap), name
+            assert not array.flags.writeable, name
+
+    def test_materialized_buffers_are_read_only(self, saved_operator):
+        _, _, path = saved_operator
+        _, buffers = read_artifact(path, mmap=False)
+        for name, array in buffers.items():
+            assert not isinstance(array.base, np.memmap), name
+            assert not array.flags.writeable, name
+
+    def test_alignment(self, saved_operator):
+        from repro.persist import ALIGNMENT
+
+        _, _, path = saved_operator
+        header, _ = read_artifact(path)
+        for entry in header["buffers"]:
+            assert entry["offset"] % ALIGNMENT == 0
+
+
+class TestContainerValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.repro"
+        path.write_bytes(b"NOTMAGIC" + b"\0" * 64)
+        with pytest.raises(ArtifactFormatError, match="magic"):
+            read_artifact(path)
+
+    def test_truncated_preamble(self, tmp_path):
+        path = tmp_path / "short.repro"
+        path.write_bytes(MAGIC[:4])
+        with pytest.raises(ArtifactFormatError, match="truncated"):
+            read_artifact(path)
+
+    def test_corrupted_header_json(self, saved_operator, tmp_path):
+        _, _, source = saved_operator
+        data = bytearray(source.read_bytes())
+        # Scribble over the JSON header, preserving the preamble.
+        data[24:40] = b"\xff" * 16
+        path = tmp_path / "corrupt.repro"
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArtifactFormatError):
+            read_artifact(path)
+
+    def test_truncated_data_section(self, saved_operator, tmp_path):
+        _, _, source = saved_operator
+        data = source.read_bytes()
+        path = tmp_path / "truncated.repro"
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ArtifactError):
+            load_operator(path)
+
+    def test_format_version_mismatch(self, saved_operator, tmp_path):
+        _, _, source = saved_operator
+        header, buffers = read_artifact(source)
+        path = tmp_path / "future.repro"
+        write_artifact(
+            path,
+            header["format"],
+            int(header["format_version"]) + 1,
+            header["meta"],
+            list(buffers.items()),
+        )
+        with pytest.raises(ArtifactVersionError, match="version"):
+            load_operator(path)
+
+    def test_unregistered_format(self, tmp_path):
+        path = tmp_path / "alien.repro"
+        write_artifact(path, "butterfly", 1, {}, [("x", np.zeros(3))])
+        with pytest.raises(ArtifactFormatError, match="butterfly"):
+            load_operator(path)
+
+    def test_unpersistable_operator(self, tmp_path):
+        with pytest.raises(ArtifactError, match="register_format"):
+            save_operator(object(), tmp_path / "nope.repro")
+
+
+class TestKernelDescriptor:
+    def test_scalar_hyperparameters(self, persist_kernel):
+        desc = kernel_descriptor(persist_kernel)
+        assert desc["class"].endswith("ExponentialKernel")
+        assert desc["params"]["length_scale"] == pytest.approx(0.3)
+
+    def test_composites_recurse(self):
+        scaled = repro.ScaledKernel(ExponentialKernel(0.2), variance=2.0)
+        summed = repro.SumKernel([ExponentialKernel(0.2), repro.WhiteNoiseKernel(0.1)])
+        assert kernel_descriptor(scaled)["inner"]["class"].endswith("ExponentialKernel")
+        assert len(kernel_descriptor(summed)["components"]) == 2
+
+    def test_distinguishes_parameters_and_classes(self):
+        a = kernel_descriptor(ExponentialKernel(0.2))
+        b = kernel_descriptor(ExponentialKernel(0.3))
+        c = kernel_descriptor(repro.GaussianKernel(0.2))
+        assert a != b and a != c
+
+
+class TestArtifactCache:
+    def test_key_sensitivity(self, persist_points, persist_kernel, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        base = dict(tol=1e-6, format="h2", leaf_size=LEAF, seed=3)
+        key = cache.key(persist_points, persist_kernel, **base)
+        assert key == cache.key(persist_points, persist_kernel, **base)
+        variants = [
+            cache.key(persist_points, persist_kernel, **{**base, "tol": 1e-5}),
+            cache.key(persist_points, persist_kernel, **{**base, "seed": 4}),
+            cache.key(persist_points, persist_kernel, **{**base, "leaf_size": 16}),
+            cache.key(persist_points, persist_kernel, **{**base, "format": "hss"}),
+            cache.key(persist_points, ExponentialKernel(0.4), **base),
+            cache.key(persist_points * 1.1, persist_kernel, **base),
+            cache.key(
+                persist_points, persist_kernel, **base, extra={"max_rank": 10}
+            ),
+        ]
+        assert len({key, *variants}) == len(variants) + 1
+
+    def test_unknown_format_raises(self, persist_points, persist_kernel, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(ArtifactError, match="butterfly"):
+            cache.key(persist_points, persist_kernel, tol=1e-6, format="butterfly")
+
+    def test_miss_then_hit(self, saved_operator, persist_points, persist_kernel, tmp_path):
+        _, op, _ = saved_operator
+        cache = ArtifactCache(tmp_path)
+        key = cache.key(persist_points, persist_kernel, tol=TOL, seed=5)
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        cache.put(key, op)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert cache.hits == 1
+        assert np.array_equal(loaded.to_dense(), op.to_dense())
+
+    def test_get_or_build(self, saved_operator, tmp_path):
+        _, op, _ = saved_operator
+        cache = ArtifactCache(tmp_path)
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return op
+
+        first = cache.get_or_build("somekey", builder)
+        second = cache.get_or_build("somekey", builder)
+        assert len(builds) == 1
+        assert np.array_equal(first.to_dense(), second.to_dense())
+
+    def test_corrupted_entry_counts_as_miss_and_is_dropped(
+        self, saved_operator, tmp_path
+    ):
+        _, op, _ = saved_operator
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", op)
+        cache.path_for("k").write_bytes(b"garbage")
+        assert cache.get("k") is None
+        assert cache.misses == 1
+        assert not cache.path_for("k").exists()
+
+    def test_lru_eviction(self, saved_operator, tmp_path):
+        _, op, _ = saved_operator
+        size = save_operator(op, tmp_path / "probe.repro").stat().st_size
+        (tmp_path / "probe.repro").unlink()
+        cache = ArtifactCache(tmp_path, max_bytes=2 * size + size // 2)
+        cache.put("a", op)
+        time.sleep(0.01)
+        cache.put("b", op)
+        time.sleep(0.01)
+        assert cache.get("a") is not None  # refresh a's LRU stamp
+        time.sleep(0.01)
+        cache.put("c", op)  # over budget: evicts b (oldest mtime)
+        assert cache.evictions == 1
+        assert cache.path_for("a").exists()
+        assert not cache.path_for("b").exists()
+        assert cache.path_for("c").exists()
+
+    def test_clear_and_statistics(self, saved_operator, tmp_path):
+        _, op, _ = saved_operator
+        cache = ArtifactCache(tmp_path)
+        cache.put("x", op)
+        stats = cache.statistics()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert cache.size_bytes() == stats["bytes"]
+        cache.clear()
+        assert cache.statistics()["entries"] == 0
+
+    def test_observe_counters(self, saved_operator, tmp_path):
+        from repro.observe.metrics import metrics
+
+        _, op, _ = saved_operator
+        registry = metrics()
+        hits0 = registry.counter("persist.cache.hits").value
+        misses0 = registry.counter("persist.cache.misses").value
+        cache = ArtifactCache(tmp_path)
+        cache.get("absent")
+        cache.put("present", op)
+        cache.get("present")
+        assert registry.counter("persist.cache.hits").value == hits0 + 1
+        assert registry.counter("persist.cache.misses").value == misses0 + 1
+
+
+class TestCompressIntegration:
+    def test_cold_then_warm(self, persist_points, persist_kernel, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cold = compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF, seed=3,
+            cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (0, 1)
+        warm = compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF, seed=3,
+            cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert np.array_equal(warm.to_dense(), cold.to_dense())
+
+    @pytest.mark.parametrize("fmt", ["hss", "hodlr", "hmatrix"])
+    def test_every_format_participates(
+        self, fmt, persist_points, persist_kernel, tmp_path
+    ):
+        cache = ArtifactCache(tmp_path)
+        cold = compress(
+            persist_points, persist_kernel, format=fmt, tol=1e-6, leaf_size=LEAF,
+            seed=3, cache=cache,
+        )
+        warm = compress(
+            persist_points, persist_kernel, format=fmt, tol=1e-6, leaf_size=LEAF,
+            seed=3, cache=cache,
+        )
+        assert cache.hits == 1
+        assert np.array_equal(warm.to_dense(), cold.to_dense())
+
+    def test_cache_dir_and_env_opt_in(
+        self, persist_points, persist_kernel, tmp_path, monkeypatch
+    ):
+        compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF, seed=3,
+            cache_dir=tmp_path,
+        )
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        warm_env = compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF, seed=3
+        )
+        warm_again = compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF, seed=3,
+        )
+        assert np.array_equal(warm_env.to_dense(), warm_again.to_dense())
+        assert len(list(tmp_path.glob("*.repro"))) == 1
+
+    def test_expert_overrides_bypass_cache(
+        self, persist_points, persist_kernel, tmp_path
+    ):
+        from repro import ClusterTree
+
+        cache = ArtifactCache(tmp_path)
+        tree = ClusterTree.build(persist_points, leaf_size=LEAF)
+        compress(
+            persist_points, persist_kernel, tol=1e-6, seed=3, tree=tree, cache=cache
+        )
+        compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF,
+            seed=np.random.default_rng(0), cache=cache,
+        )
+        compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF, seed=3,
+            full_result=True, cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.statistics()["entries"] == 0
+
+    def test_warm_operator_still_solves(self, persist_points, persist_kernel, tmp_path):
+        from repro import gmres
+
+        cache = ArtifactCache(tmp_path)
+        kwargs = dict(tol=1e-8, leaf_size=LEAF, seed=3, cache=cache)
+        compress(persist_points, persist_kernel, **kwargs)
+        warm = compress(persist_points, persist_kernel, **kwargs)
+        b = np.random.default_rng(1).standard_normal(N)
+        result = gmres(warm, b, tol=1e-8, restart=60, maxiter=4000)
+        assert result.converged
+
+
+class TestSessionIntegration:
+    def test_second_session_loads_from_cache(
+        self, persist_points, persist_kernel, tmp_path
+    ):
+        first = Session(persist_points, leaf_size=LEAF, seed=1, cache_dir=tmp_path)
+        first.compress(persist_kernel, tol=1e-6)
+        assert first.context.statistics.artifact_cache_hits == 0
+        assert first.context.statistics.constructions == 1
+
+        second = Session(persist_points, leaf_size=LEAF, seed=1, cache_dir=tmp_path)
+        second.compress(persist_kernel, tol=1e-6)
+        stats = second.context.statistics
+        assert stats.artifact_cache_hits == 1
+        assert stats.constructions == 0
+        assert second.result.construction_path == "cache"
+        assert second.result.converged
+        assert np.array_equal(
+            second.operator.to_dense(), first.operator.to_dense()
+        )
+
+    def test_loaded_operator_factors_and_solves(
+        self, persist_points, persist_kernel, tmp_path
+    ):
+        Session(persist_points, leaf_size=LEAF, seed=1, cache_dir=tmp_path).compress(
+            persist_kernel, tol=1e-8
+        )
+        warm = Session(persist_points, leaf_size=LEAF, seed=1, cache_dir=tmp_path)
+        solve = (
+            warm.compress(persist_kernel, tol=1e-8)
+            .factor(noise=1e-2)
+            .solve(np.ones(N))
+        )
+        assert warm.context.statistics.artifact_cache_hits == 1
+        assert solve.converged
+
+    def test_in_memory_result_cache_still_first(
+        self, persist_points, persist_kernel, tmp_path
+    ):
+        sess = Session(persist_points, leaf_size=LEAF, seed=1, cache_dir=tmp_path)
+        sess.compress(persist_kernel, tol=1e-6)
+        sess.compress(persist_kernel, tol=1e-6)
+        stats = sess.context.statistics
+        assert stats.result_cache_hits == 1
+        assert stats.artifact_cache_hits == 0
+
+    def test_generator_seed_disables_artifact_cache(
+        self, persist_points, persist_kernel, tmp_path
+    ):
+        from repro import GeometryContext
+
+        context = GeometryContext(
+            persist_points,
+            leaf_size=LEAF,
+            seed=np.random.default_rng(0),
+            artifact_cache=ArtifactCache(tmp_path),
+        )
+        assert context.artifact_cache is None
+        context.construct(persist_kernel, tolerance=1e-6)
+        assert context.statistics.artifact_cache_hits == 0
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_warm_compress_speedup_4096(self, tmp_path):
+        """Cached re-compression at N=4096 beats cold construction >= 10x
+        (override the floor with REPRO_PERSIST_SPEEDUP_MIN for slow I/O)."""
+        n = 4096
+        points = uniform_cube_points(n, dim=2, seed=7)
+        kernel = ExponentialKernel(length_scale=0.2)
+        cache = ArtifactCache(tmp_path)
+        kwargs = dict(tol=1e-6, leaf_size=64, seed=3, cache=cache)
+
+        start = time.perf_counter()
+        cold = compress(points, kernel, **kwargs)
+        cold_seconds = time.perf_counter() - start
+        assert cache.misses == 1
+
+        start = time.perf_counter()
+        warm = compress(points, kernel, **kwargs)
+        warm_seconds = time.perf_counter() - start
+        assert cache.hits == 1
+        assert np.array_equal(warm.to_dense(), cold.to_dense())
+
+        floor = float(os.environ.get("REPRO_PERSIST_SPEEDUP_MIN", "10.0"))
+        speedup = cold_seconds / max(warm_seconds, 1e-9)
+        assert speedup >= floor, (
+            f"warm load {warm_seconds:.3f}s vs cold construction "
+            f"{cold_seconds:.3f}s: speedup {speedup:.1f}x < {floor:.1f}x"
+        )
