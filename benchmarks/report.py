@@ -1,0 +1,191 @@
+"""Render the perf trajectory across committed snapshots as a trend table.
+
+Where ``compare_bench.py`` diffs the two most recent snapshots, this report
+reads *every* JSON file in ``benchmarks/history/`` (ordered ``pr4`` < ``pr6``
+< ``pr10`` by the trailing label number), and renders one trend row per
+headline metric: the value at every snapshot, the net change from the first
+to the latest snapshot, and a trend marker using the same direction
+conventions as the comparison gate (``*_seconds`` up is worse, ``*_gflops``
+down is worse, counter-like headlines flag any change).
+
+Two output formats:
+
+* a fixed-width console table (always printed), and
+* optionally a self-contained HTML page (``--html out.html``) with the same
+  data, colour-coded, suitable for a CI artifact.
+
+The report is descriptive — it never exits non-zero; ``compare_bench.py
+--strict`` remains the gate.
+
+Usage::
+
+    python benchmarks/report.py
+    python benchmarks/report.py --html report.html
+    python benchmarks/report.py --history benchmarks/history --threshold 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import os
+import sys
+
+from compare_bench import (
+    DEFAULT_THRESHOLD,
+    HIGHER_IS_WORSE,
+    LOWER_IS_WORSE,
+    _order_key,
+    load_snapshot,
+)
+
+
+def load_history(history_dir: str) -> list[dict]:
+    """All snapshots in ``history_dir``, oldest label first."""
+    paths = sorted(
+        (
+            os.path.join(history_dir, name)
+            for name in os.listdir(history_dir)
+            if name.endswith(".json")
+        ),
+        key=_order_key,
+    )
+    snapshots = []
+    for path in paths:
+        snapshot = load_snapshot(path)
+        snapshot.setdefault(
+            "label", os.path.splitext(os.path.basename(path))[0]
+        )
+        snapshots.append(snapshot)
+    return snapshots
+
+
+def trend_rows(snapshots: list[dict], threshold: float = DEFAULT_THRESHOLD):
+    """Per-headline trend rows: (key, values, ratio, status).
+
+    ``values`` has one entry per snapshot (``None`` where the headline is
+    absent).  ``ratio`` is latest/first over the snapshots that have the
+    metric; ``status`` applies the ``compare_bench`` direction conventions to
+    that first-to-latest ratio.
+    """
+    keys = sorted({key for s in snapshots for key in s.get("headlines", {})})
+    rows = []
+    for key in keys:
+        values = [s.get("headlines", {}).get(key) for s in snapshots]
+        present = [v for v in values if v is not None]
+        first, last = present[0], present[-1]
+        ratio = last / first if first else float("inf") if last else 1.0
+        status = "ok"
+        if key.endswith(HIGHER_IS_WORSE) and last > first * (1.0 + threshold):
+            status = "WORSE"
+        elif key.endswith(LOWER_IS_WORSE) and last < first * (1.0 - threshold):
+            status = "WORSE"
+        elif key.endswith(HIGHER_IS_WORSE) and last < first * (1.0 - threshold):
+            status = "better"
+        elif key.endswith(LOWER_IS_WORSE) and last > first * (1.0 + threshold):
+            status = "better"
+        elif key.endswith(("_launches", "_iterations", "_samples")) and last != first:
+            status = "changed"
+        rows.append((key, values, ratio, status))
+    return rows
+
+
+def _fmt(value) -> str:
+    return "-" if value is None else f"{value:.5g}"
+
+
+def render_console(snapshots: list[dict], rows) -> str:
+    labels = [s["label"] for s in snapshots]
+    width = max(10, *(len(label) + 2 for label in labels))
+    header = f"{'headline':<34}" + "".join(
+        f"{label:>{width}}" for label in labels
+    ) + f" {'trend':>9}  status"
+    lines = [
+        f"perf trajectory over {len(snapshots)} snapshot(s): "
+        + " -> ".join(labels),
+        header,
+    ]
+    for key, values, ratio, status in rows:
+        cells = "".join(f"{_fmt(v):>{width}}" for v in values)
+        lines.append(f"{key:<34}{cells} {ratio:8.3f}x  {status}")
+    configs = {str(s.get("config")) for s in snapshots}
+    if len(configs) > 1:
+        lines.append(
+            "warning: snapshot configs differ across history — "
+            "trends are not strictly comparable"
+        )
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+th, td { padding: 0.3em 0.8em; border: 1px solid #ccc; text-align: right; }
+th:first-child, td:first-child { text-align: left; font-family: monospace; }
+tr.worse td { background: #fdd; }
+tr.better td { background: #dfd; }
+tr.changed td { background: #ffd; }
+caption { caption-side: top; text-align: left; font-weight: bold;
+          padding-bottom: 0.5em; }
+"""
+
+
+def render_html(snapshots: list[dict], rows) -> str:
+    labels = [s["label"] for s in snapshots]
+    head = "".join(f"<th>{html.escape(label)}</th>" for label in labels)
+    body = []
+    for key, values, ratio, status in rows:
+        cells = "".join(f"<td>{html.escape(_fmt(v))}</td>" for v in values)
+        css = {"WORSE": "worse", "better": "better", "changed": "changed"}.get(
+            status, ""
+        )
+        body.append(
+            f'<tr class="{css}"><td>{html.escape(key)}</td>{cells}'
+            f"<td>{ratio:.3f}x</td><td>{html.escape(status)}</td></tr>"
+        )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>perf trajectory</title><style>{_HTML_STYLE}</style></head>\n"
+        "<body><table><caption>Perf trajectory: "
+        + html.escape(" → ".join(labels))
+        + "</caption>\n<tr><th>headline</th>"
+        + head
+        + "<th>trend</th><th>status</th></tr>\n"
+        + "\n".join(body)
+        + "\n</table></body></html>\n"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)), "history"),
+                        help="snapshot directory (default benchmarks/history)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative trend threshold (default 0.20)")
+    parser.add_argument("--html", default=None, metavar="PATH",
+                        help="also write a self-contained HTML report")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the console table to a text file")
+    args = parser.parse_args(argv)
+
+    snapshots = load_history(args.history)
+    if not snapshots:
+        print(f"no snapshots in {args.history}; nothing to report")
+        return 0
+    rows = trend_rows(snapshots, threshold=args.threshold)
+    table = render_console(snapshots, rows)
+    print(table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(snapshots, rows))
+        print(f"\nhtml report written to {args.html}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

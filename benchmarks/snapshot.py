@@ -44,7 +44,12 @@ from repro import (
     uniform_cube_points,
 )
 from repro.diagnostics import apply_report
-from repro.observe import MetricsRegistry, console_tree, save_chrome_trace
+from repro.observe import (
+    MetricsRegistry,
+    console_tree,
+    save_chrome_trace,
+    save_openmetrics,
+)
 
 SEED = 7
 NOISE = 1e-2
@@ -57,7 +62,11 @@ def snapshot_sizes() -> tuple[int, int]:
     return n, n_gp
 
 
-def take_snapshot(label: str, trace_path: str | None = None) -> dict:
+def take_snapshot(
+    label: str,
+    trace_path: str | None = None,
+    metrics_path: str | None = None,
+) -> dict:
     n, n_gp = snapshot_sizes()
     # The artifact cache must never warm the *cold* construction headlines:
     # claim the env opt-in for the dedicated persistence section below.
@@ -144,6 +153,11 @@ def take_snapshot(label: str, trace_path: str | None = None) -> dict:
         save_chrome_trace(tracer, trace_path)
         print(console_tree(tracer, min_duration=1e-4))
         print(f"chrome trace written to {trace_path}")
+    if metrics_path:
+        # The tracer carries its own private registry — export that one, not
+        # the process-global default.
+        save_openmetrics(metrics_path, registry=tracer.metrics)
+        print(f"openmetrics snapshot written to {metrics_path}")
 
     return {
         "schema": 1,
@@ -175,6 +189,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="output path (default benchmarks/history/<label>.json)")
     parser.add_argument("--trace", default=None,
                         help="also write a Chrome trace_event JSON of the run")
+    parser.add_argument("--metrics", default=None,
+                        help="also write an OpenMetrics text exposition of the "
+                             "run's metrics registry")
     args = parser.parse_args(argv)
 
     out = args.out
@@ -183,7 +200,9 @@ def main(argv: list[str] | None = None) -> int:
         os.makedirs(history, exist_ok=True)
         out = os.path.join(history, f"{args.label}.json")
 
-    snapshot = take_snapshot(args.label, trace_path=args.trace)
+    snapshot = take_snapshot(
+        args.label, trace_path=args.trace, metrics_path=args.metrics
+    )
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=True)
         handle.write("\n")

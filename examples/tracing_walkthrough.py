@@ -13,6 +13,12 @@ same trace then serves as
    the launch attribution are *views over the trace*, matching the legacy
    counters exactly.
 
+On top of the timings, the run demonstrates the health & resource telemetry:
+``ExecutionPolicy(health=..., memory_profile=True)`` probes every produced
+operator with a stochastic compression-error estimate, triages the solver
+residual history, attributes per-span (and hence per-phase) peak memory, and
+everything aggregates into one metrics registry exported as OpenMetrics text.
+
 Run with:  python examples/tracing_walkthrough.py [N]
 """
 
@@ -30,8 +36,11 @@ from repro import (
 )
 from repro.diagnostics import PhaseBreakdown, phase_breakdown
 from repro.observe import (
+    HealthThresholds,
     MetricsRegistry,
     console_tree,
+    memory_ledger,
+    render_openmetrics,
     save_chrome_trace,
     total_launches,
 )
@@ -43,10 +52,14 @@ def main(n: int = 2048) -> None:
     print(f"== Traced pipeline: construct -> factor -> solve -> GP fit, N={n} ==")
 
     # One tracer for the whole run; a private metrics registry keeps the
-    # demo's histograms separate from the process-wide default.
+    # demo's histograms separate from the process-wide default.  health=
+    # probes every produced operator (warn-only), memory_profile= attaches
+    # the per-span peak-memory sampler.
     metrics = MetricsRegistry()
     tracer = SpanTracer(metrics=metrics)
-    policy = ExecutionPolicy(tracer=tracer)
+    policy = ExecutionPolicy(
+        tracer=tracer, health=HealthThresholds(), memory_profile=True
+    )
 
     points = uniform_cube_points(n, dim=2, seed=0)
     kernel = ExponentialKernel(length_scale=0.2)
@@ -92,9 +105,37 @@ def main(n: int = 2048) -> None:
     # The duration histograms the tracer feeds per span category.
     print("\n-- span duration histograms " + "-" * 36)
     for name, summary in sorted(metrics.snapshot()["histograms"].items()):
+        if not name.startswith("span."):
+            continue  # rank/health histograms print in their own sections
         print(f"  {name:<28} count={summary['count']:<4} "
               f"p50={summary['p50'] * 1e3:8.2f} ms  "
               f"p95={summary['p95'] * 1e3:8.2f} ms")
+
+    # 4. Numerical health: the policy probed the constructed operator against
+    # exact kernel rows — a flagged report would also have warned through the
+    # repro.observe.health logger.
+    report = result.health
+    print("\n-- operator health probe " + "-" * 39)
+    print(f"  est. relative error {report.est_relative_error:.2e} "
+          f"(tol {report.tol:g}, flagged={report.flagged})")
+    print(f"  compression ratio   {report.compression_ratio:.1f}x dense")
+    for level, stats in report.rank_levels.items():
+        print(f"  level {level}: ranks {stats['min']:.0f}"
+              f"..{stats['max']:.0f} (mean {stats['mean']:.1f})")
+
+    # 5. Memory: per-phase construction peaks (from the span attributes the
+    # sampler wrote) and the process-wide category ledger.
+    print("\n-- construction peak memory by phase " + "-" * 27)
+    for phase, peak in from_trace.ordered_peak_bytes().items():
+        print(f"  {phase:<18} {peak / 2**20:7.2f} MiB")
+    print("\n-- memory ledger (who holds the bytes) " + "-" * 25)
+    for category, nbytes in memory_ledger().by_category().items():
+        print(f"  {category:<10} {nbytes / 2**20:7.2f} MiB")
+
+    # 6. OpenMetrics exposition of the same registry — scrape-ready text.
+    exposition = render_openmetrics(metrics)
+    print("\n-- openmetrics exposition (first 8 lines) " + "-" * 22)
+    print("\n".join(exposition.splitlines()[:8]))
 
 
 if __name__ == "__main__":

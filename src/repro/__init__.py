@@ -157,7 +157,7 @@ from .linalg import (
     row_id,
 )
 from . import observe
-from .observe import SpanTracer
+from .observe import HealthThresholds, SpanTracer
 from . import persist
 from .persist import ArtifactCache, load_operator, save_operator
 from .sketching import (
@@ -225,6 +225,7 @@ __all__ = [
     "HMatrix",
     "HODLRFactorization",
     "HODLRMatrix",
+    "HealthThresholds",
     "HelmholtzKernel",
     "HierarchicalOperator",
     "HierarchicalOperatorMixin",

@@ -274,6 +274,13 @@ def compress(
             if cached is not None:
                 if hasattr(cached, "apply_backend"):
                     cached.apply_backend = policy.resolve_backend()
+                if policy.health is not None:
+                    from ..observe.health import check_operator_health
+
+                    check_operator_health(
+                        cached, kernel, tol, thresholds=policy.health,
+                        tracer=policy.tracer, source="loaded",
+                    )
                 return cached
 
     tree, partition = _resolve_geometry(
@@ -296,6 +303,14 @@ def compress(
             tracer=policy.tracer,
         ).construct()
         result.matrix.apply_backend = policy.resolve_backend()
+        if policy.health is not None and isinstance(kernel, KernelFunction):
+            from ..observe.health import check_operator_health
+
+            result.health = check_operator_health(
+                result.matrix, kernel, config.tolerance,
+                thresholds=policy.health, tracer=policy.tracer,
+                source="constructed",
+            )
         if artifact_key is not None:
             artifact_cache.put(artifact_key, result.matrix)
         return result if full_result else result.matrix
@@ -310,6 +325,13 @@ def compress(
         compressed = build_hodlr(tree, entries, tol=tol, max_rank=max_rank)
     else:
         compressed = build_hmatrix_aca(partition, entries, tol=tol, max_rank=max_rank)
+    if policy.health is not None and isinstance(kernel, KernelFunction):
+        from ..observe.health import check_operator_health
+
+        check_operator_health(
+            compressed, kernel, tol, thresholds=policy.health,
+            tracer=policy.tracer, source="constructed",
+        )
     if artifact_key is not None:
         artifact_cache.put(artifact_key, compressed)
     return compressed
@@ -452,10 +474,24 @@ class Session:
         )
         self._result = result
         operator: HierarchicalOperator = result.matrix
+        if self.policy.health is not None:
+            from ..observe.health import check_operator_health
+
+            result.health = check_operator_health(
+                result.matrix, kernel, tol, thresholds=self.policy.health,
+                tracer=self.policy.tracer, source="constructed",
+            )
         if fmt == "hodlr":
             operator = convert(operator, "hodlr")
         elif fmt == "hmatrix":
             operator = convert(operator, "hmatrix", tol=tol)
+        if operator is not result.matrix and self.policy.health is not None:
+            from ..observe.health import check_operator_health
+
+            check_operator_health(
+                operator, kernel, tol, thresholds=self.policy.health,
+                tracer=self.policy.tracer, source="converted",
+            )
         self._operator = operator
         # The previous factorization (and its noise shift) described the old
         # operator; solve() must not silently reuse them.
@@ -526,7 +562,7 @@ class Session:
         preconditioner = self._factorization
         return methods[method](
             operator, b, tol=tol, maxiter=maxiter, M=preconditioner,
-            tracer=self.policy.tracer,
+            tracer=self.policy.tracer, health=self.policy.health,
         )
 
     def gp(

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..batched.backend import BatchedBackend
     from ..batched.counters import KernelLaunchCounter
     from ..core.config import ConstructionConfig
+    from ..observe.health import HealthThresholds
     from ..observe.tracer import NoopTracer, SpanTracer
 
 
@@ -72,6 +73,20 @@ class ExecutionPolicy:
         binds the tracer to the resolved backend's launch counter and stores
         it on the backend instance, so apply plans, solvers and the GP layer
         all attribute their work to the same trace without extra plumbing.
+    health:
+        :class:`~repro.observe.health.HealthThresholds` enabling the
+        numerical-health telemetry: a stochastic compression-error probe on
+        every operator this policy constructs, loads or converts, and
+        post-hoc convergence diagnosis (stagnation / divergence /
+        preconditioner-ineffectiveness) on every Krylov solve.  Breaches
+        *warn* through the ``repro.observe.health`` structured logger — they
+        never raise.  ``None`` (default) disables all probes.
+    memory_profile:
+        When ``True`` and the tracer is enabled, attach a
+        :class:`~repro.observe.memory.MemorySampler` so every span carries
+        ``mem_peak_bytes`` / ``mem_current_bytes`` / ``mem_rss_bytes``
+        attributes (tracemalloc-based; meaningful overhead — keep off for
+        benchmarking).  Ignored without an enabled tracer.
     """
 
     backend: "Union[str, BatchedBackend]" = "auto"
@@ -79,6 +94,8 @@ class ExecutionPolicy:
     counter: "Optional[KernelLaunchCounter]" = None
     share_backend: bool = True
     tracer: "Union[SpanTracer, NoopTracer, None]" = None
+    health: "Optional[HealthThresholds]" = None
+    memory_profile: bool = False
     _resolved: "Optional[BatchedBackend]" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -92,6 +109,10 @@ class ExecutionPolicy:
             )
         if self.tracer is None:
             self.tracer = NOOP_TRACER
+        if self.memory_profile and self.tracer.enabled and self.tracer.memory is None:
+            from ..observe.memory import MemorySampler
+
+            self.tracer.memory = MemorySampler()
         if self.counter is not None:
             warnings.warn(
                 "ExecutionPolicy(counter=...) is deprecated: the policy's "

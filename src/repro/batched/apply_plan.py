@@ -668,4 +668,9 @@ def compile_apply_plan(
     applies the matrix (and its transpose) to any number of right-hand-side
     columns through a pluggable batched backend in O(levels) launches.
     """
-    return H2ApplyPlan(matrix, pad_to=pad_to, fan_pad=fan_pad)
+    plan = H2ApplyPlan(matrix, pad_to=pad_to, fan_pad=fan_pad)
+    # Compile-time workspace accounting (never touches the per-apply path).
+    from ..observe.memory import memory_ledger
+
+    memory_ledger().track(plan, {"workspace": plan.memory_bytes()})
+    return plan

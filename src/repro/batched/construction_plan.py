@@ -206,6 +206,11 @@ class ConstructionPlan:
                 rows, sentinel=len(nodes), fan_pad=self.fan_pad
             )
 
+        # Compile-time workspace accounting (auto-released with the plan).
+        from ..observe.memory import memory_ledger
+
+        memory_ledger().track(self, {"workspace": self.memory_bytes()})
+
     @property
     def num_leaves(self) -> int:
         return len(self.leaf_nodes)

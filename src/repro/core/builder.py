@@ -115,6 +115,10 @@ class ConstructionResult:
     #: child spans carry the same numbers as ``phase_seconds`` /
     #: ``kernel_launches`` — diagnostics accept either.
     trace: Optional[object] = None
+    #: :class:`repro.observe.HealthReport` of the stochastic compression-error
+    #: probe when the construction ran under ``ExecutionPolicy(health=...)``
+    #: (``None`` otherwise — the probe is off by default).
+    health: Optional[object] = None
 
     @property
     def rank_range(self) -> Tuple[int, int]:
@@ -314,6 +318,15 @@ class H2Constructor:
             coupling=self.couplings,
             dense=self.dense_blocks,
         )
+        # Memory telemetry: the constructed operator and (on the packed path)
+        # the sweep engine's workspace report into the process-wide ledger;
+        # the entries auto-release when the objects are garbage-collected.
+        from ..observe.memory import categorize_operator_bytes, memory_ledger
+
+        ledger = memory_ledger()
+        ledger.track(matrix, categorize_operator_bytes(matrix.memory_bytes()))
+        if engine is not None:
+            ledger.track(engine, {"workspace": engine.memory_bytes()})
         elapsed = time.perf_counter() - start
         # Per-construction launch numbers even on a shared (policy/tracer)
         # counter: report the growth since this construction started.

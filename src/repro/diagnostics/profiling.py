@@ -16,7 +16,7 @@ produce identical numbers.  :func:`phase_breakdown` accepts a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
 #: Canonical phase ordering used in tables and plots.
@@ -36,6 +36,9 @@ class PhaseBreakdown:
     """Absolute and relative per-phase times of one construction."""
 
     seconds: Dict[str, float]
+    #: Peak allocated bytes per phase — populated only when the construction
+    #: traced under ``ExecutionPolicy(memory_profile=True)`` (empty otherwise).
+    peak_bytes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -62,12 +65,20 @@ class PhaseBreakdown:
             return {phase: 0.0 for phase in ordered}
         return {phase: 100.0 * value / total for phase, value in ordered.items()}
 
+    def ordered_peak_bytes(self) -> Dict[str, int]:
+        """Per-phase peak bytes in canonical order (missing phases as 0)."""
+        out = {phase: self.peak_bytes.get(phase, 0) for phase in PHASE_ORDER}
+        for phase, value in self.peak_bytes.items():
+            if phase not in out:
+                out[phase] = value
+        return out
+
     @classmethod
     def from_span(cls, span) -> "PhaseBreakdown":
         """Aggregate the ``construct.phase`` spans below ``span`` (or a tracer)."""
-        from ..observe.views import phase_seconds
+        from ..observe.views import phase_peak_bytes, phase_seconds
 
-        return cls(seconds=phase_seconds(span))
+        return cls(seconds=phase_seconds(span), peak_bytes=phase_peak_bytes(span))
 
 
 def phase_breakdown(result) -> PhaseBreakdown:
@@ -79,5 +90,11 @@ def phase_breakdown(result) -> PhaseBreakdown:
     """
     seconds = getattr(result, "phase_seconds", None)
     if seconds is not None:
-        return PhaseBreakdown(seconds=dict(seconds))
+        trace = getattr(result, "trace", None)
+        peaks = {}
+        if trace is not None:
+            from ..observe.views import phase_peak_bytes
+
+            peaks = phase_peak_bytes(trace)
+        return PhaseBreakdown(seconds=dict(seconds), peak_bytes=peaks)
     return PhaseBreakdown.from_span(result)

@@ -89,6 +89,20 @@ class H2Matrix(HierarchicalOperatorMixin):
     def rank_range(self) -> Tuple[int, int]:
         return self.basis.rank_range()
 
+    def level_ranks(self) -> Dict[int, list]:
+        """Basis ranks per tree level, for the health telemetry's rank
+        histograms (levels whose nodes carry no basis are omitted)."""
+        out: Dict[int, list] = {}
+        for level in range(self.tree.depth):
+            ranks = [
+                int(self.basis.rank(node))
+                for node in self.tree.nodes_at_level(level)
+                if self.basis.has_basis(node)
+            ]
+            if ranks:
+                out[level] = ranks
+        return out
+
     # ----------------------------------------------------------------- matvec
     def apply_plan(self, rebuild: bool = False) -> "H2ApplyPlan":
         """The compiled batched apply plan of this matrix (built and cached on

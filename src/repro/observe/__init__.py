@@ -34,34 +34,92 @@ from .exporters import (
     to_chrome_trace,
     to_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .health import (
+    HealthEvent,
+    HealthReport,
+    HealthThresholds,
+    StructuredLogAdapter,
+    check_operator_health,
+    compression_ratio,
+    diagnose_convergence,
+    estimate_compression_error,
+    rank_level_summary,
+    record_solver_health,
+)
+from .memory import (
+    CATEGORIES,
+    MemoryLedger,
+    MemorySampler,
+    categorize_operator_bytes,
+    memory_ledger,
+    reset_memory_ledger,
+    rss_bytes,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    reset_metrics,
+)
+from .openmetrics import (
+    MetricsJSONLFlusher,
+    render_openmetrics,
+    sanitize_metric_name,
+    save_openmetrics,
+)
 from .span import Span, SpanEvent
 from .tracer import NOOP_TRACER, NoopTracer, SpanTracer
 from .views import (
     find_spans,
     launches_by_operation,
+    phase_peak_bytes,
     phase_seconds,
     span_durations,
     total_launches,
 )
 
 __all__ = [
+    "CATEGORIES",
     "Counter",
     "Gauge",
+    "HealthEvent",
+    "HealthReport",
+    "HealthThresholds",
     "Histogram",
+    "MemoryLedger",
+    "MemorySampler",
+    "MetricsJSONLFlusher",
     "MetricsRegistry",
     "NOOP_TRACER",
     "NoopTracer",
     "Span",
     "SpanEvent",
     "SpanTracer",
+    "StructuredLogAdapter",
+    "categorize_operator_bytes",
+    "check_operator_health",
+    "compression_ratio",
     "console_tree",
+    "diagnose_convergence",
+    "estimate_compression_error",
     "find_spans",
     "from_jsonl",
     "launches_by_operation",
+    "memory_ledger",
     "metrics",
+    "phase_peak_bytes",
     "phase_seconds",
+    "rank_level_summary",
+    "record_solver_health",
+    "render_openmetrics",
+    "reset_memory_ledger",
+    "reset_metrics",
+    "rss_bytes",
+    "sanitize_metric_name",
     "save_chrome_trace",
+    "save_openmetrics",
     "span_durations",
     "to_chrome_trace",
     "to_jsonl",

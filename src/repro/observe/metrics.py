@@ -91,11 +91,17 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100) by linear interpolation."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("percentile must be in [0, 100]")
+        """The ``q``-th percentile (0..100) by linear interpolation.
+
+        Well-defined on every reservoir state: an empty histogram returns
+        ``nan`` (there is no value to report — distinguishable from a real
+        observation of ``0.0``), a single sample is every percentile of
+        itself, and out-of-range ``q`` values clamp to [0, 100] instead of
+        raising so exporters can never crash a run.
+        """
+        q = min(100.0, max(0.0, float(q)))
         if not self._samples:
-            return 0.0
+            return math.nan
         data = sorted(self._samples)
         if len(data) == 1:
             return data[0]
@@ -184,3 +190,14 @@ def metrics() -> MetricsRegistry:
     if _REGISTRY is None:
         _REGISTRY = MetricsRegistry()
     return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Clear the process-wide registry (test isolation; keeps the instance).
+
+    Existing instrument *handles* become stale — callers should re-fetch via
+    :func:`metrics` — but anything holding only the registry keeps working.
+    A no-op before the registry's first use.
+    """
+    if _REGISTRY is not None:
+        _REGISTRY.reset()

@@ -1,0 +1,153 @@
+"""OpenMetrics / Prometheus text exposition of the metrics registry.
+
+Renders a :class:`~repro.observe.metrics.MetricsRegistry` to the OpenMetrics
+text format (the strict superset of the Prometheus exposition format), so a
+scraper — or the future ``repro.serve`` endpoint — can consume the process
+telemetry without any new dependency:
+
+* :class:`~repro.observe.metrics.Counter` → ``counter`` family, sample name
+  suffixed ``_total``;
+* :class:`~repro.observe.metrics.Gauge` → ``gauge`` family;
+* :class:`~repro.observe.metrics.Histogram` → ``summary`` family with
+  ``quantile`` labels (p50/p95/p99) plus ``_count`` / ``_sum`` samples.
+
+Dotted repro metric names (``persist.cache.hits``) are sanitized to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` metric-name alphabet and prefixed ``repro_``.
+The exposition ends with the mandatory ``# EOF`` terminator.
+
+For file-based collection, :class:`MetricsJSONLFlusher` appends periodic
+JSON-line snapshots of the same registry — one line per flush, suitable for
+tailing or post-hoc loading.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import time
+from typing import Optional
+
+from .metrics import MetricsRegistry, metrics as _global_metrics
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles exposed per histogram (matching the p50/p95/p99 summaries).
+QUANTILES = ((0.5, 50.0), (0.95, 95.0), (0.99, 99.0))
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Map a dotted repro metric name onto the OpenMetrics name alphabet."""
+    candidate = prefix + _NAME_BAD.sub("_", name)
+    if not _NAME_OK.match(candidate):  # e.g. empty name after the prefix
+        candidate = prefix + "metric"
+    return candidate
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry as OpenMetrics text (ending in ``# EOF``)."""
+    registry = registry if registry is not None else _global_metrics()
+    snapshot = registry.snapshot()
+    lines = []
+
+    for name, value in snapshot["counters"].items():
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+
+    for name, value in snapshot["gauges"].items():
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, summary in snapshot["histograms"].items():
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        # Quantiles come from the live histogram, not the snapshot: the
+        # snapshot zero-fills empty reservoirs, while the exposition renders
+        # the honest ``NaN`` the percentile contract defines.
+        hist = registry.histogram(name)
+        for quantile, percentile in QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_value(hist.percentile(percentile))}"
+            )
+        lines.append(f"{metric}_count {_format_value(summary['count'])}")
+        lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def save_openmetrics(path: str, registry: Optional[MetricsRegistry] = None) -> str:
+    """Write the exposition to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_openmetrics(registry))
+    return path
+
+
+class MetricsJSONLFlusher:
+    """Periodic JSON-lines dumps of a metrics registry.
+
+    Call :meth:`maybe_flush` from any convenient point in the workload loop —
+    it appends one snapshot line at most every ``interval_seconds`` and is a
+    cheap clock read otherwise.  :meth:`flush` writes unconditionally.
+
+    Each line is ``{"elapsed_seconds": ..., "metrics": {counters, gauges,
+    histograms}}``, so ``[json.loads(l) for l in open(path)]`` recovers the
+    full series.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval_seconds: float = 60.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if interval_seconds <= 0:
+            raise ValueError("flush interval must be positive")
+        self.path = path
+        self.interval_seconds = float(interval_seconds)
+        self._registry = registry
+        self._start = time.monotonic()
+        self._last_flush: Optional[float] = None
+        self.flush_count = 0
+
+    def maybe_flush(self) -> bool:
+        """Flush if the interval elapsed since the last flush; did we?"""
+        now = time.monotonic()
+        if (
+            self._last_flush is not None
+            and now - self._last_flush < self.interval_seconds
+        ):
+            return False
+        self.flush()
+        return True
+
+    def flush(self) -> None:
+        registry = self._registry if self._registry is not None else _global_metrics()
+        now = time.monotonic()
+        line = {
+            "elapsed_seconds": now - self._start,
+            "metrics": registry.snapshot(),
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            json.dump(line, handle, sort_keys=True)
+            handle.write("\n")
+        self._last_flush = now
+        self.flush_count += 1

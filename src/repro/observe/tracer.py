@@ -87,6 +87,7 @@ class NoopTracer:
     enabled = False
     counter: Optional[KernelLaunchCounter] = None
     metrics: Optional[MetricsRegistry] = None
+    memory = None
     roots: List[Span] = []
 
     def span(self, name: str, category: str = "", **attributes: object) -> _NoopSpanContext:
@@ -119,7 +120,7 @@ class _SpanContext:
     """Context manager produced by :meth:`SpanTracer.span`."""
 
     __slots__ = ("_tracer", "_name", "_category", "_attributes", "_span",
-                 "_counts0", "_calls0")
+                 "_counts0", "_calls0", "_mem")
 
     def __init__(self, tracer: "SpanTracer", name: str, category: str,
                  attributes: Dict[str, object]):
@@ -130,6 +131,7 @@ class _SpanContext:
         self._span: Optional[Span] = None
         self._counts0: Optional[Dict[str, int]] = None
         self._calls0: Optional[Dict[str, int]] = None
+        self._mem: Optional[List[int]] = None
 
     def __enter__(self) -> Span:
         tracer = self._tracer
@@ -150,6 +152,9 @@ class _SpanContext:
             tracer.roots.append(span)
         tracer._stack.append(span)
         self._span = span
+        sampler = tracer.memory
+        if sampler is not None:
+            self._mem = sampler.enter()
         span.start = tracer._clock()
         return span
 
@@ -157,6 +162,8 @@ class _SpanContext:
         tracer = self._tracer
         span = self._span
         span.end = tracer._clock()
+        if self._mem is not None and tracer.memory is not None:
+            span.attributes.update(tracer.memory.exit(self._mem))
         counter = tracer.counter
         if counter is not None and self._counts0 is not None:
             span.launches = _delta(counter.counts, self._counts0)
@@ -195,6 +202,12 @@ class SpanTracer:
         histogram per span category.  Defaults to the process-wide registry;
         pass ``metrics=None`` explicitly via ``record_metrics=False``-style
         wrappers is not needed — use a private registry to isolate.
+    memory:
+        A :class:`~repro.observe.memory.MemorySampler` bracketing every span
+        with tracemalloc/RSS readings, attaching ``mem_peak_bytes`` /
+        ``mem_current_bytes`` / ``mem_rss_bytes`` span attributes.  ``None``
+        (default) keeps spans allocation-free; usually enabled via
+        ``ExecutionPolicy(memory_profile=True)``.
     """
 
     enabled = True
@@ -203,9 +216,11 @@ class SpanTracer:
         self,
         counter: Optional[KernelLaunchCounter] = None,
         metrics: Optional[MetricsRegistry] = None,
+        memory: Optional[object] = None,
     ):
         self.counter = counter
         self.metrics = _global_metrics() if metrics is None else metrics
+        self.memory = memory
         self.roots: List[Span] = []
         self.orphan_events: List[SpanEvent] = []
         self._stack: List[Span] = []

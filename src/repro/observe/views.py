@@ -44,6 +44,27 @@ def phase_seconds(source: TraceSource, category: str = "construct.phase") -> Dic
     return dict(totals)
 
 
+def phase_peak_bytes(
+    source: TraceSource, category: str = "construct.phase"
+) -> Dict[str, int]:
+    """Peak allocated bytes per phase, from ``mem_peak_bytes`` attributes.
+
+    Populated only when the run traced with a
+    :class:`~repro.observe.memory.MemorySampler`
+    (``ExecutionPolicy(memory_profile=True)``); phases without memory
+    attribution are omitted.  Repeated spans of one phase keep the maximum —
+    peaks do not add.
+    """
+    peaks: Dict[str, int] = {}
+    for span in find_spans(source, category=category):
+        peak = span.attributes.get("mem_peak_bytes")
+        if peak is None:
+            continue
+        phase = str(span.attributes.get("phase", span.name))
+        peaks[phase] = max(peaks.get(phase, 0), int(peak))
+    return peaks
+
+
 def launches_by_operation(source: TraceSource) -> Dict[str, int]:
     """Inclusive per-operation launch counts summed over the *root* spans.
 

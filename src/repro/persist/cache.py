@@ -206,6 +206,18 @@ class ArtifactCache:
                     os.utime(path, (now, now))
                 except OSError:  # pragma: no cover - entry evicted meanwhile
                     pass
+                # Loaded operators report into the memory ledger like freshly
+                # constructed ones (memmapped views still count their bytes).
+                from ..observe.memory import (
+                    categorize_operator_bytes,
+                    memory_ledger,
+                )
+
+                if hasattr(operator, "memory_bytes"):
+                    memory_ledger().track(
+                        operator,
+                        categorize_operator_bytes(operator.memory_bytes()),
+                    )
                 return operator
         self.misses += 1
         registry.counter("persist.cache.misses").inc()
@@ -215,6 +227,7 @@ class ArtifactCache:
         """Store ``operator`` under ``key`` (atomic write), evict over budget."""
         path = save(operator, self.path_for(key))
         self._enforce_budget()
+        self._account_bytes()
         return path
 
     def get_or_build(
@@ -260,6 +273,15 @@ class ArtifactCache:
                 path.unlink()
             except OSError:  # pragma: no cover - race with other process
                 pass
+        self._account_bytes()
+
+    def _account_bytes(self) -> None:
+        """Report the cache's on-disk occupancy into the memory ledger."""
+        from ..observe.memory import memory_ledger
+
+        memory_ledger().account(
+            f"ArtifactCache:{self.directory}", {"cache": self.size_bytes()}
+        )
 
     # ------------------------------------------------------------- reporting
     def size_bytes(self) -> int:

@@ -169,9 +169,11 @@ def _result(
     matvecs: int,
     precond: _Preconditioner,
     start: float,
+    tracer: object = None,
+    health: object = None,
     **extra: object,
 ) -> KrylovResult:
-    return KrylovResult(
+    result = KrylovResult(
         x=x,
         converged=converged,
         iterations=max(0, len(history) - 1),
@@ -182,6 +184,12 @@ def _result(
         elapsed_seconds=time.perf_counter() - start,
         extra=dict(extra),
     )
+    if health is not None:
+        from ..observe.health import record_solver_health
+        from ..observe.tracer import NOOP_TRACER
+
+        record_solver_health(result, health, tracer=tracer or NOOP_TRACER)
+    return result
 
 
 def cg(
@@ -193,31 +201,37 @@ def cg(
     x0: np.ndarray | None = None,
     callback: Callable[[int, float], None] | None = None,
     tracer: object | None = None,
+    health: object | None = None,
 ) -> KrylovResult:
     """Preconditioned conjugate gradients for a symmetric positive-definite ``a``.
 
     Under an enabled tracer (passed explicitly or discovered from the
     operator's apply backend) the solve runs inside a ``solve/cg`` span with
-    one ``iteration`` event per CG step.
+    one ``iteration`` event per CG step.  ``health`` accepts
+    :class:`~repro.observe.health.HealthThresholds` to run the post-hoc
+    convergence diagnosis (events land in ``result.extra["health_events"]``).
     """
     start = time.perf_counter()
     op, b, x = _prepare(a, b, x0)
     tracer = tracer if tracer is not None else _tracer_of(op)
     return _traced_solve(
         "cg", tracer,
-        lambda: _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start),
+        lambda: _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start,
+                         health),
         op, b,
     )
 
 
-def _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start) -> KrylovResult:
+def _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start,
+             health=None) -> KrylovResult:
     precond = _Preconditioner(M)
     n = b.shape[0]
     maxiter = n if maxiter is None else int(maxiter)
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
-        return _result("cg", np.zeros_like(b), [0.0], True, 0, precond, start)
+        return _result("cg", np.zeros_like(b), [0.0], True, 0, precond, start,
+                       tracer=tracer, health=health)
 
     matvecs = 0
     r = b - op.matvec(x) if x.any() else b.copy()
@@ -225,7 +239,8 @@ def _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start) -> KrylovResult
         matvecs += 1
     history = [float(np.linalg.norm(r)) / b_norm]
     if history[0] <= tol:
-        return _result("cg", x, history, True, matvecs, precond, start)
+        return _result("cg", x, history, True, matvecs, precond, start,
+                       tracer=tracer, health=health)
 
     z = precond(r)
     p = z.copy()
@@ -256,7 +271,8 @@ def _cg_body(op, b, x, tol, maxiter, M, callback, tracer, start) -> KrylovResult
         p = z + (rz_next / rz) * p
         rz = rz_next
     return _result(
-        "cg", x, history, converged, matvecs, precond, start, **_apply_info(op)
+        "cg", x, history, converged, matvecs, precond, start,
+        tracer=tracer, health=health, **_apply_info(op)
     )
 
 
@@ -270,6 +286,7 @@ def gmres(
     x0: np.ndarray | None = None,
     callback: Callable[[int, float], None] | None = None,
     tracer: object | None = None,
+    health: object | None = None,
 ) -> KrylovResult:
     """Right-preconditioned restarted GMRES(m) for a general square ``a``.
 
@@ -285,14 +302,14 @@ def gmres(
     return _traced_solve(
         "gmres", tracer,
         lambda: _gmres_body(
-            op, b, x, tol, restart, maxiter, M, callback, tracer, start
+            op, b, x, tol, restart, maxiter, M, callback, tracer, start, health
         ),
         op, b,
     )
 
 
 def _gmres_body(op, b, x, tol, restart, maxiter, M, callback, tracer,
-                start) -> KrylovResult:
+                start, health=None) -> KrylovResult:
     precond = _Preconditioner(M)
     n = b.shape[0]
     restart = max(1, min(int(restart), n))
@@ -300,7 +317,8 @@ def _gmres_body(op, b, x, tol, restart, maxiter, M, callback, tracer,
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
-        return _result("gmres", np.zeros_like(b), [0.0], True, 0, precond, start)
+        return _result("gmres", np.zeros_like(b), [0.0], True, 0, precond,
+                       start, tracer=tracer, health=health)
 
     matvecs = 0
     total_iterations = 0
@@ -372,6 +390,8 @@ def _gmres_body(op, b, x, tol, restart, maxiter, M, callback, tracer,
         matvecs,
         precond,
         start,
+        tracer=tracer,
+        health=health,
         restart=restart,
         **_apply_info(op),
     )
@@ -394,6 +414,7 @@ def bicgstab(
     x0: np.ndarray | None = None,
     callback: Callable[[int, float], None] | None = None,
     tracer: object | None = None,
+    health: object | None = None,
 ) -> KrylovResult:
     """Preconditioned BiCGStab for a general square ``a`` (van der Vorst 1992).
 
@@ -405,20 +426,22 @@ def bicgstab(
     tracer = tracer if tracer is not None else _tracer_of(op)
     return _traced_solve(
         "bicgstab", tracer,
-        lambda: _bicgstab_body(op, b, x, tol, maxiter, M, callback, tracer, start),
+        lambda: _bicgstab_body(op, b, x, tol, maxiter, M, callback, tracer,
+                               start, health),
         op, b,
     )
 
 
 def _bicgstab_body(op, b, x, tol, maxiter, M, callback, tracer,
-                   start) -> KrylovResult:
+                   start, health=None) -> KrylovResult:
     precond = _Preconditioner(M)
     n = b.shape[0]
     maxiter = n if maxiter is None else int(maxiter)
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
-        return _result("bicgstab", np.zeros_like(b), [0.0], True, 0, precond, start)
+        return _result("bicgstab", np.zeros_like(b), [0.0], True, 0, precond,
+                       start, tracer=tracer, health=health)
 
     matvecs = 0
     r = b - op.matvec(x) if x.any() else b.copy()
@@ -426,7 +449,8 @@ def _bicgstab_body(op, b, x, tol, maxiter, M, callback, tracer,
         matvecs += 1
     history = [float(np.linalg.norm(r)) / b_norm]
     if history[0] <= tol:
-        return _result("bicgstab", x, history, True, matvecs, precond, start)
+        return _result("bicgstab", x, history, True, matvecs, precond, start,
+                       tracer=tracer, health=health)
 
     r_hat = r.copy()
     rho = alpha = omega = 1.0
@@ -476,5 +500,6 @@ def _bicgstab_body(op, b, x, tol, maxiter, M, callback, tracer,
             converged = True
             break
     return _result(
-        "bicgstab", x, history, converged, matvecs, precond, start, **_apply_info(op)
+        "bicgstab", x, history, converged, matvecs, precond, start,
+        tracer=tracer, health=health, **_apply_info(op)
     )
