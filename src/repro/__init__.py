@@ -160,6 +160,13 @@ from . import observe
 from .observe import HealthThresholds, SpanTracer
 from . import persist
 from .persist import ArtifactCache, load_operator, save_operator
+from . import resilience
+from .resilience import (
+    FaultInjector,
+    RecoveryPolicy,
+    ResilienceError,
+    SolveDidNotConvergeError,
+)
 from .sketching import (
     DenseEntryExtractor,
     DenseOperator,
@@ -182,6 +189,7 @@ from .solvers import (
     MultifrontalSolver,
     bicgstab,
     cg,
+    escalation_ladder,
     gmres,
 )
 from .tree import (
@@ -192,7 +200,7 @@ from .tree import (
     build_block_partition,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Public API, kept alphabetically sorted (guarded by tests/test_public_api.py).
 __all__ = [
@@ -211,6 +219,7 @@ __all__ = [
     "EntryExtractor",
     "ExecutionPolicy",
     "ExponentialKernel",
+    "FaultInjector",
     "FrontReport",
     "GPFitReport",
     "GaussianKernel",
@@ -245,11 +254,14 @@ __all__ = [
     "MultifrontalSolver",
     "NotPositiveDefiniteError",
     "PairwiseKernel",
+    "RecoveryPolicy",
+    "ResilienceError",
     "ScaledKernel",
     "SerialBackend",
     "Session",
     "ShiftedLinearOperator",
     "SketchingOperator",
+    "SolveDidNotConvergeError",
     "SpanTracer",
     "SumEntryExtractor",
     "SumKernel",
@@ -274,6 +286,7 @@ __all__ = [
     "construction_error",
     "convergence_table",
     "convert",
+    "escalation_ladder",
     "estimate_relative_error",
     "estimate_spectral_norm",
     "format_table",
@@ -295,6 +308,7 @@ __all__ = [
     "recompress_h2",
     "register_conversion",
     "residual_series",
+    "resilience",
     "row_id",
     "save_operator",
     "uniform_cube_points",

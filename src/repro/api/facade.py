@@ -76,6 +76,20 @@ def _resolve_cache(
     return default_cache()
 
 
+def _cache_integrity_kwargs(recovery: object | None) -> dict:
+    """``ArtifactCache.get`` integrity arguments under a recovery policy.
+
+    With a policy installed, cache reads verify the per-buffer checksums and
+    map the recovery mode onto the corruption behaviour (strict → raise
+    typed, warn → evict + structured warning, recover → silent evict +
+    rebuild); without one, reads keep the legacy lock-free fast path.
+    """
+    if recovery is None:
+        return {}
+    mode = {"strict": "raise", "warn": "warn", "recover": "evict"}[recovery.mode]
+    return {"on_corruption": mode, "verify": True}
+
+
 def _default_admissibility(
     fmt: str, eta: float, admissibility: object | None
 ) -> object | None:
@@ -270,7 +284,10 @@ def compress(
             # Unhashable request (custom admissibility, ...): construct as usual.
             artifact_key = None
         else:
-            cached = artifact_cache.get(artifact_key, tracer=policy.tracer)
+            cached = artifact_cache.get(
+                artifact_key, tracer=policy.tracer,
+                **_cache_integrity_kwargs(policy.recovery),
+            )
             if cached is not None:
                 if hasattr(cached, "apply_backend"):
                     cached.apply_backend = policy.resolve_backend()
@@ -313,6 +330,10 @@ def compress(
             )
         if artifact_key is not None:
             artifact_cache.put(artifact_key, result.matrix)
+            if policy.faults is not None:
+                policy.faults.corrupt_artifact(
+                    artifact_cache.path_for(artifact_key)
+                )
         return result if full_result else result.matrix
 
     if full_result:
@@ -334,6 +355,8 @@ def compress(
         )
     if artifact_key is not None:
         artifact_cache.put(artifact_key, compressed)
+        if policy.faults is not None:
+            policy.faults.corrupt_artifact(artifact_cache.path_for(artifact_key))
     return compressed
 
 
@@ -546,24 +569,97 @@ class Session:
         ``method="auto"`` runs CG on the compiled batched apply,
         preconditioned by the :meth:`factor` factorization when one exists;
         ``"cg"``/``"gmres"``/``"bicgstab"`` select the Krylov method
-        explicitly.  The ``noise`` shift of the last :meth:`factor` call is
-        applied to the operator, so factor+solve agree on the system.
+        explicitly, and ``"ladder"`` runs the full
+        :func:`~repro.solvers.ladder.escalation_ladder` (CG → preconditioned
+        CG → GMRES(m) → HODLR direct).  The ``noise`` shift of the last
+        :meth:`factor` call is applied to the operator, so factor+solve agree
+        on the system.
+
+        When the session policy carries a
+        :class:`~repro.resilience.RecoveryPolicy`, a non-converged solve is
+        never returned silently: ``strict`` raises
+        :class:`~repro.resilience.SolveDidNotConvergeError`, ``warn`` warns
+        through the ``repro.resilience`` logger and returns the flagged
+        result, and ``recover`` escalates through the remaining ladder rungs.
         """
         from ..hmatrix.linear_operator import as_linear_operator
         from ..solvers import krylov
+        from ..solvers.ladder import escalation_ladder
 
+        recovery = self.policy.recovery
+        faults = self.policy.faults
+        if method == "ladder":
+            return escalation_ladder(
+                self.operator, b, tol=tol, maxiter=maxiter,
+                shift=self._shift, factorization=self._factorization,
+                recovery=recovery, tracer=self.policy.tracer,
+                faults=faults, health=self.policy.health,
+            )
         methods = {"auto": krylov.cg, "cg": krylov.cg, "gmres": krylov.gmres,
                    "bicgstab": krylov.bicgstab}
         if method not in methods:
             raise ValueError(
-                f"unknown method {method!r}; available: {sorted(methods)}"
+                f"unknown method {method!r}; available: "
+                f"{sorted(methods) + ['ladder']}"
             )
         operator = as_linear_operator(self.operator, shift=self._shift)
         preconditioner = self._factorization
-        return methods[method](
+        if faults is not None:
+            maxiter = faults.stall_maxiter(maxiter)
+        result = methods[method](
             operator, b, tol=tol, maxiter=maxiter, M=preconditioner,
             tracer=self.policy.tracer, health=self.policy.health,
         )
+        if result.converged or recovery is None:
+            return result
+        return self._handle_unconverged_solve(
+            result, b, tol=tol, method=method,
+            preconditioned=preconditioner is not None,
+        )
+
+    def _handle_unconverged_solve(
+        self, result: "KrylovResult", b: np.ndarray, *, tol: float,
+        method: str, preconditioned: bool,
+    ) -> "KrylovResult":
+        """Apply the recovery policy to a solve that returned ``converged=False``."""
+        from ..resilience.errors import SolveDidNotConvergeError
+        from ..resilience.policy import resilience_adapter
+        from ..solvers.ladder import escalation_ladder
+
+        recovery = self.policy.recovery
+        if recovery.mode == "strict":
+            raise SolveDidNotConvergeError(
+                f"{result.method} did not converge in {result.iterations} "
+                f"iterations (final residual {result.final_residual:.3e} > "
+                f"tol {tol:.3e})",
+                result=result,
+            )
+        if recovery.mode == "warn":
+            resilience_adapter().warn(
+                "solve-not-converged", method=result.method,
+                iterations=result.iterations,
+                final_residual=result.final_residual, tol=tol,
+            )
+            return result
+        # recover: escalate through the rungs the failed solve did not cover.
+        done = {"cg", "pcg"} if preconditioned else {"cg"}
+        if method == "gmres":
+            done.add("gmres")
+        rungs = tuple(r for r in recovery.ladder if r not in done)
+        if not rungs:
+            raise SolveDidNotConvergeError(
+                f"{result.method} did not converge and the recovery ladder "
+                f"has no further rungs (ladder={list(recovery.ladder)})",
+                result=result,
+            )
+        escalated = escalation_ladder(
+            self.operator, b, tol=tol, shift=self._shift,
+            factorization=self._factorization, recovery=recovery,
+            rungs=rungs, x0=result.x, tracer=self.policy.tracer,
+            health=self.policy.health,
+        )
+        escalated.extra["escalated_from"] = result.method
+        return escalated
 
     def gp(
         self, kernel: KernelFunction, noise: float = 1e-2, **gp_kwargs: object
@@ -572,7 +668,8 @@ class Session:
         from ..gp.regression import GaussianProcess
 
         return GaussianProcess(
-            self._points, kernel, noise=noise, context=self.context, **gp_kwargs
+            self._points, kernel, noise=noise, context=self.context,
+            policy=self.policy, **gp_kwargs
         )
 
     # ------------------------------------------------------------ diagnostics

@@ -17,15 +17,26 @@ Environment overrides (read when a knob is left at ``"auto"``):
 ``REPRO_CONSTRUCT_PATH``
     ``packed`` (compiled level-wise sweep, default) or ``loop`` (per-node
     reference sweep).
+``REPRO_RESILIENCE``
+    ``strict`` / ``warn`` / ``recover`` to install a default
+    :class:`~repro.resilience.RecoveryPolicy` on policies that did not pass
+    ``recovery=`` explicitly (``off``/unset leaves recovery disabled).
+``REPRO_FAULTS``
+    A :class:`~repro.resilience.FaultInjector` spec string (see
+    :mod:`repro.resilience.faults`) installing deterministic fault injection
+    on policies that did not pass ``faults=`` explicitly.
 """
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Union
 
 from ..observe.tracer import NOOP_TRACER
+from ..resilience.faults import FaultInjector
+from ..resilience.policy import RecoveryPolicy
 from ..utils.env import env_choice, normalize_choice
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -87,6 +98,23 @@ class ExecutionPolicy:
         ``mem_peak_bytes`` / ``mem_current_bytes`` / ``mem_rss_bytes``
         attributes (tracemalloc-based; meaningful overhead — keep off for
         benchmarking).  Ignored without an enabled tracer.
+    recovery:
+        A :class:`~repro.resilience.RecoveryPolicy` (or a bare mode string
+        ``"strict"``/``"warn"``/``"recover"``) turning detected faults into
+        recovery actions at every guarded boundary: NaN/Inf sample
+        screening with relaunch retries, rank-saturation re-construction
+        with escalated budgets, packed→loop engine fallback, artifact
+        integrity handling, and the solver escalation ladder on
+        non-converged solves.  ``None`` (default) follows
+        ``REPRO_RESILIENCE`` and otherwise disables every guard — the
+        legacy behaviour, at zero overhead.
+    faults:
+        A :class:`~repro.resilience.FaultInjector` (or its spec string, see
+        :mod:`repro.resilience.faults`) injecting deterministic failures at
+        the guarded boundaries.  ``None`` (default) follows
+        ``REPRO_FAULTS``.  Installing faults without an explicit
+        ``recovery`` enables a default ``RecoveryPolicy(mode="recover")``
+        so injected chaos is recovered, not fatal.
     """
 
     backend: "Union[str, BatchedBackend]" = "auto"
@@ -96,6 +124,8 @@ class ExecutionPolicy:
     tracer: "Union[SpanTracer, NoopTracer, None]" = None
     health: "Optional[HealthThresholds]" = None
     memory_profile: bool = False
+    recovery: "Union[RecoveryPolicy, str, None]" = None
+    faults: "Union[FaultInjector, str, None]" = None
     _resolved: "Optional[BatchedBackend]" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -109,6 +139,23 @@ class ExecutionPolicy:
             )
         if self.tracer is None:
             self.tracer = NOOP_TRACER
+        if self.recovery is None:
+            env_mode = env_choice("REPRO_RESILIENCE", "off")
+            if env_mode not in ("off", "none", "0", "false"):
+                self.recovery = env_mode
+        if isinstance(self.recovery, str):
+            self.recovery = RecoveryPolicy(mode=self.recovery)
+        if self.faults is None:
+            env_spec = os.environ.get("REPRO_FAULTS", "").strip()
+            if env_spec:
+                self.faults = env_spec
+        if isinstance(self.faults, str):
+            self.faults = FaultInjector.from_spec(self.faults)
+        if self.faults is not None and self.recovery is None:
+            # Injected chaos without an explicit policy must be recovered,
+            # not fatal: REPRO_FAULTS alone turns any run into a chaos test
+            # that is still expected to produce correct results.
+            self.recovery = RecoveryPolicy(mode="recover")
         if self.memory_profile and self.tracer.enabled and self.tracer.memory is None:
             from ..observe.memory import MemorySampler
 
@@ -149,6 +196,10 @@ class ExecutionPolicy:
         if self.tracer.enabled:
             self.tracer.bind_counter(backend.counter)
             backend.tracer = self.tracer
+        if self.faults is not None:
+            backend.faults = self.faults
+        if self.recovery is not None:
+            backend.recovery = self.recovery
         if self.share_backend:
             self._resolved = backend
         return backend

@@ -69,7 +69,16 @@ from ..hmatrix.h2matrix import H2Matrix
 from ..sketching.entry_extractor import EntryExtractor
 from ..sketching.operators import SketchingOperator
 from ..tree.block_partition import BlockPartition
+from ..observe.metrics import metrics as _metrics
 from ..observe.tracer import NOOP_TRACER
+from ..resilience.errors import (
+    ConstructionFaultError,
+    MemoryBudgetError,
+    RankSaturationError,
+    ResilienceError,
+    SampleCorruptionError,
+)
+from ..resilience.policy import resilience_adapter
 from ..utils.rng import SeedLike, as_generator
 from ..utils.timing import PhaseTimer
 from .config import ConstructionConfig
@@ -153,6 +162,8 @@ class H2Constructor:
         sample_source: Callable[[int], np.ndarray] | None = None,
         plan: ConstructionPlan | None = None,
         tracer: object | None = None,
+        recovery: object | None = None,
+        faults: object | None = None,
     ):
         self.partition = partition
         self.tree = partition.tree
@@ -204,6 +215,19 @@ class H2Constructor:
             self.tracer.bind_counter(self.counter)
         self.timer = PhaseTimer(tracer=self.tracer)
 
+        # Resilience wiring: explicit arguments win; otherwise adopt whatever
+        # ExecutionPolicy.resolve_backend installed on the backend instance
+        # (mirrors the tracer hand-off above).  Both stay ``None`` on the
+        # legacy path so every guard below is a single attribute test.
+        self.recovery = (
+            recovery if recovery is not None
+            else getattr(self.backend, "recovery", None)
+        )
+        self.faults = (
+            faults if faults is not None
+            else getattr(self.backend, "faults", None)
+        )
+
         # Construction state (populated by :meth:`construct`).
         self.skeletons = SkeletonStore()
         self.basis = BasisTree(tree=self.tree)
@@ -220,8 +244,21 @@ class H2Constructor:
         according to ``ConstructionConfig.construction_path`` (``"auto"``
         follows the ``REPRO_CONSTRUCT_PATH`` environment variable and defaults
         to the packed path).
+
+        When a :class:`~repro.resilience.RecoveryPolicy` is installed (via
+        ``ExecutionPolicy(recovery=...)`` or the ``recovery=`` argument), the
+        run is guarded: packed-engine failures retry and then fall back to the
+        reference loop (the result is tagged
+        ``construction_path="recovered-loop"``), memory-budget breaches fall
+        back immediately, and rank saturation re-constructs with escalated
+        sample/tolerance budgets.  Every recovery restores the RNG and sample
+        bank to their pre-construction state, so a retry whose fault does not
+        re-fire is bit-identical to an uninjected run.
         """
-        return self._construct(packed=self._resolve_path() == "packed")
+        packed = self._resolve_path() == "packed"
+        if self.recovery is None:
+            return self._construct(packed=packed)
+        return self._construct_guarded(packed=packed)
 
     def construct_loop(self) -> ConstructionResult:
         """Run the per-node reference sweep (the ``matvec_loop`` analogue)."""
@@ -240,6 +277,179 @@ class H2Constructor:
                 f"unknown construction path {mode!r}; use 'packed' or 'loop'"
             )
         return mode
+
+    # ------------------------------------------------------------------ guards
+    def _construct_guarded(self, packed: bool) -> ConstructionResult:
+        """Run :meth:`_construct` under the installed recovery policy.
+
+        The recovery ladder, in order of escalation:
+
+        1. *memory budget breach* (estimated packed workspace over
+           ``RecoveryPolicy.memory_budget_bytes``, or injected) — fall back
+           to the streaming per-node loop immediately (retrying the same
+           allocation cannot succeed);
+        2. *packed engine failure* (any non-resilience exception out of the
+           packed sweep, e.g. an injected launch failure) — retry the packed
+           sweep up to ``max_retries`` times, then fall back to the loop;
+        3. *rank saturation* (adaptive construction exhausted its sample
+           budget without converging) — re-construct with the sample budget
+           escalated by ``sample_budget_factor``, then with the ID tolerance
+           relaxed by ``tolerance_relax``, up to ``max_sample_retries``
+           re-constructions.
+
+        ``strict`` mode raises the typed error at the first detection; in
+        ``warn`` mode every recovery is announced through the
+        ``repro.resilience`` structured logger.  A result produced by the
+        loop fallback is tagged ``construction_path="recovered-loop"``.
+        """
+        policy = self.recovery
+        rng_state = self.rng.bit_generator.state
+        original_config = self.config
+        engine_retries = 0
+        sample_retries = 0
+        recovered_to_loop = False
+        while True:
+            try:
+                result = self._construct(packed)
+            except MemoryBudgetError as exc:
+                if policy.mode == "strict" or not packed:
+                    raise
+                self._announce_recovery(
+                    "memory-budget-fallback",
+                    f"packed workspace over budget ({exc}); falling back to "
+                    "the per-node loop",
+                    stage=exc.stage or "construct.packed",
+                )
+                packed = False
+                recovered_to_loop = True
+                self._reset_construction_state(rng_state)
+                continue
+            except ResilienceError:
+                # Already the typed failure surface (e.g. sample corruption
+                # that survived its relaunch budget) — nothing to add.
+                raise
+            except Exception as exc:
+                if not packed:
+                    raise  # the loop is the fallback; its failures are final
+                if policy.mode == "strict":
+                    raise ConstructionFaultError(
+                        f"packed sweep engine failed: {exc}",
+                        stage="construct.packed",
+                        context={"error": repr(exc)},
+                    ) from exc
+                self._reset_construction_state(rng_state)
+                if engine_retries < policy.max_retries:
+                    engine_retries += 1
+                    _metrics().counter("resilience.retries").inc()
+                    self._announce_recovery(
+                        "packed-retry",
+                        f"packed sweep failed ({exc!r}); retry "
+                        f"{engine_retries}/{policy.max_retries}",
+                        stage="construct.packed",
+                    )
+                    continue
+                self._announce_recovery(
+                    "loop-fallback",
+                    f"packed sweep failed ({exc!r}) after "
+                    f"{engine_retries} retries; falling back to the "
+                    "per-node loop",
+                    stage="construct.packed",
+                )
+                packed = False
+                recovered_to_loop = True
+                continue
+
+            if result.converged or not self.config.adaptive:
+                break
+            # Rank saturation: the adaptive loop ran out of sample budget.
+            if policy.mode == "strict":
+                raise RankSaturationError(
+                    "adaptive construction exhausted its sample budget "
+                    f"({self._total_samples} samples) without converging",
+                    stage="construct.adapt",
+                    context={"total_samples": self._total_samples},
+                )
+            if sample_retries >= policy.max_sample_retries:
+                self._announce_recovery(
+                    "rank-saturation-exhausted",
+                    "rank-saturation retries exhausted; returning the "
+                    "non-converged result (flagged converged=False)",
+                    stage="construct.adapt",
+                )
+                break
+            sample_retries += 1
+            _metrics().counter("resilience.retries").inc()
+            self.config = self._escalated_config(sample_retries)
+            self._announce_recovery(
+                "rank-saturation-retry",
+                f"re-constructing with escalated budgets (retry "
+                f"{sample_retries}/{policy.max_sample_retries}: "
+                f"max_samples={self.config.max_samples}, "
+                f"tolerance={self.config.tolerance:g})",
+                stage="construct.adapt",
+            )
+            self._reset_construction_state(rng_state)
+
+        if recovered_to_loop:
+            result.construction_path = "recovered-loop"
+            _metrics().counter("resilience.recoveries").inc()
+        elif engine_retries or sample_retries:
+            _metrics().counter("resilience.recoveries").inc()
+        self.config = original_config
+        return result
+
+    def _escalated_config(self, retry: int) -> ConstructionConfig:
+        """The construction config of rank-saturation retry number ``retry``.
+
+        The first retry escalates the sample budget (when it is not already
+        at the matrix dimension); later retries — or a budget already at the
+        cap — additionally relax the ID tolerance.
+        """
+        from dataclasses import replace as _replace
+
+        policy = self.recovery
+        cfg = self.config
+        n = self.tree.num_points
+        cap = n if cfg.max_samples is None else min(cfg.max_samples, n)
+        updates: Dict[str, object] = {}
+        if cap < n:
+            updates["max_samples"] = min(
+                n, max(cap + 1, int(cap * policy.sample_budget_factor))
+            )
+        if retry > 1 or cap >= n:
+            updates["tolerance"] = cfg.tolerance * policy.tolerance_relax
+        return _replace(cfg, **updates)
+
+    def _reset_construction_state(self, rng_state: dict) -> None:
+        """Return the constructor to its pre-construction state for a retry.
+
+        Restoring the RNG state and rewinding the frozen sample bank (when a
+        :class:`~repro.core.context.GeometryContext` supplied one) makes a
+        retry sketch with exactly the random vectors of the first attempt —
+        so a recovery whose fault does not re-fire reproduces the uninjected
+        run bit for bit.
+        """
+        self.skeletons = SkeletonStore()
+        self.basis = BasisTree(tree=self.tree)
+        self.dense_blocks = {}
+        self.couplings = {}
+        self._sample_draws = 0
+        self._total_samples = 0
+        self.timer = PhaseTimer(tracer=self.tracer)
+        self.rng.bit_generator.state = rng_state
+        reset = getattr(self.sample_source, "reset", None)
+        if callable(reset):
+            reset()
+
+    def _announce_recovery(self, event: str, message: str, stage: str) -> None:
+        """Tracer span + (in warn mode) structured-log warning for a recovery."""
+        if self.tracer.enabled:
+            with self.tracer.span(
+                f"resilience/{event}", category="resilience", stage=stage
+            ):
+                pass
+        if self.recovery is not None and self.recovery.mode == "warn":
+            resilience_adapter().warn(event, stage=stage, detail=message)
 
     def _construct(self, packed: bool) -> ConstructionResult:
         tracer = self.tracer
@@ -272,6 +482,8 @@ class H2Constructor:
 
         engine: Optional[PackedSweepEngine] = None
         if packed:
+            if self.faults is not None or self.recovery is not None:
+                self._check_memory_budget(n)
             with self.timer.phase("misc"):
                 if self.plan is None:
                     self.plan = ConstructionPlan(self.partition)
@@ -350,6 +562,35 @@ class H2Constructor:
         )
 
     # --------------------------------------------------------------- internals
+    def _check_memory_budget(self, n: int) -> None:
+        """Packed-workspace budget guard at the engine allocation boundary.
+
+        Raises :class:`~repro.resilience.errors.MemoryBudgetError` when the
+        installed fault injector fires ``memory-budget-exceeded`` or the
+        estimated level-buffer footprint (omega + sketch stacks at the leaf
+        level) exceeds ``RecoveryPolicy.memory_budget_bytes``; the guarded
+        driver then falls back to the streaming per-node loop.
+        """
+        if self.faults is not None:
+            self.faults.memory_budget("construct.packed")
+        policy = self.recovery
+        if policy is None or policy.memory_budget_bytes is None:
+            return
+        cfg = self.config
+        d0 = min(cfg.effective_initial_samples, n)
+        headroom = cfg.sample_block_size if cfg.adaptive else 0
+        estimate = 2 * n * (d0 + headroom) * 8  # omega + y level stacks, f64
+        if estimate > policy.memory_budget_bytes:
+            raise MemoryBudgetError(
+                f"estimated packed workspace {estimate} B exceeds the "
+                f"budget {policy.memory_budget_bytes} B",
+                stage="construct.packed",
+                context={
+                    "estimate_bytes": estimate,
+                    "budget_bytes": policy.memory_budget_bytes,
+                },
+            )
+
     def _min_admissible_depth(self) -> Optional[int]:
         """Shallowest tree depth carrying admissible blocks (None if fully dense)."""
         for depth in range(self.tree.num_levels):
@@ -408,9 +649,56 @@ class H2Constructor:
                 batch = self.backend.batched_random_normal([(n, count)], seed=self.rng)
                 omega = batch[0]
             y = self.operator.multiply(omega)
+        if self.faults is not None and self.faults.installed("nan-in-gemm-output"):
+            y = self.faults.corrupt_gemm_output(y)
+        if self.recovery is not None:
+            y = self._screen_samples(omega, y)
         self._sample_draws += 1
         self._total_samples += count
         return omega, y
+
+    def _screen_samples(self, omega: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """NaN/Inf screen of a sketched sample block at the launch boundary.
+
+        A corrupted block models a transient failure of the sketching GEMM,
+        so recovery *relaunches the same multiply* (same ``omega``) up to
+        ``RecoveryPolicy.max_retries`` times — a relaunch whose fault does
+        not re-fire is bitwise identical to the uninjected sketch.  Strict
+        mode raises immediately; a block still corrupted after the relaunch
+        budget raises in every mode (never a silent wrong answer).
+        """
+        if np.all(np.isfinite(y)):
+            return y
+        policy = self.recovery
+        bad = int(y.size - np.count_nonzero(np.isfinite(y)))
+        if policy.mode == "strict":
+            raise SampleCorruptionError(
+                f"sketched sample block contains {bad} non-finite entries",
+                stage="construct.sample",
+                context={"bad_entries": bad, "shape": tuple(y.shape)},
+            )
+        self._announce_recovery(
+            "sample-relaunch",
+            f"sketched sample block has {bad} non-finite entries; "
+            "relaunching the sketch",
+            stage="construct.sample",
+        )
+        for _ in range(policy.max_retries):
+            _metrics().counter("resilience.retries").inc()
+            with self.timer.phase("sampling"):
+                y = self.operator.multiply(omega)
+            if self.faults is not None:
+                y = self.faults.corrupt_gemm_output(y)
+            if np.all(np.isfinite(y)):
+                _metrics().counter("resilience.recoveries").inc()
+                return y
+        bad = int(y.size - np.count_nonzero(np.isfinite(y)))
+        raise SampleCorruptionError(
+            f"sketched sample block still contains {bad} non-finite entries "
+            f"after {policy.max_retries} relaunches",
+            stage="construct.sample",
+            context={"bad_entries": bad, "retries": policy.max_retries},
+        )
 
     def _samples_exhausted(self) -> bool:
         cap = self.config.max_samples
@@ -854,6 +1142,8 @@ class H2Constructor:
         all_converged = True
 
         for depth in range(tree.depth, min_depth - 1, -1):
+            if self.faults is not None:
+                self.faults.fail_launch(f"construct.packed.level={depth}")
             with self.tracer.span(
                 f"level={depth}", category="construct.level", depth=depth
             ):

@@ -83,17 +83,31 @@ class _OmegaBank:
             self._data = np.hstack([self._data, fresh])
         return self._data[:, start:stop]
 
-    def sampler(self) -> Callable[[int], np.ndarray]:
-        """A draw function replaying the bank from its first column."""
-        cursor = 0
+    def sampler(self) -> "_BankSampler":
+        """A draw callable replaying the bank from its first column.
 
-        def draw(count: int) -> np.ndarray:
-            nonlocal cursor
-            block = self.columns(cursor, cursor + count)
-            cursor += count
-            return block
+        The returned :class:`_BankSampler` supports ``reset()``, which the
+        constructor's recovery guards call before a retry so the relaunched
+        construction sketches with exactly the vectors of the first attempt.
+        """
+        return _BankSampler(self)
 
-        return draw
+
+class _BankSampler:
+    """Resettable cursor over an :class:`_OmegaBank` (callable ``count -> block``)."""
+
+    def __init__(self, bank: _OmegaBank):
+        self._bank = bank
+        self._cursor = 0
+
+    def __call__(self, count: int) -> np.ndarray:
+        block = self._bank.columns(self._cursor, self._cursor + count)
+        self._cursor += count
+        return block
+
+    def reset(self) -> None:
+        """Rewind to the first column (recovery retries replay the bank)."""
+        self._cursor = 0
 
 
 class BlockDistanceCachingExtractor(EntryExtractor):
@@ -443,8 +457,15 @@ class GeometryContext:
                 # Unhashable request (custom admissibility, ...): construct.
                 artifact_key = None
             else:
+                from ..api.facade import _cache_integrity_kwargs
+
                 load_start = time.perf_counter()
-                matrix = self.artifact_cache.get(artifact_key, tracer=self.tracer)
+                matrix = self.artifact_cache.get(
+                    artifact_key, tracer=self.tracer,
+                    **_cache_integrity_kwargs(
+                        getattr(self.backend, "recovery", None)
+                    ),
+                )
                 if matrix is not None:
                     elapsed = time.perf_counter() - load_start
                     matrix.apply_backend = self.backend
@@ -530,6 +551,9 @@ class GeometryContext:
             self._last_result = result
         if artifact_key is not None:
             self.artifact_cache.put(artifact_key, result.matrix)
+            faults = getattr(self.backend, "faults", None)
+            if faults is not None:
+                faults.corrupt_artifact(self.artifact_cache.path_for(artifact_key))
         return result
 
     # ------------------------------------------------------------- diagnostics

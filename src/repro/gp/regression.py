@@ -152,6 +152,18 @@ class GaussianProcess:
             )
         self.context = context
         self._tracer = getattr(context, "tracer", None) or NOOP_TRACER
+        # Resilience wiring: an explicit policy wins; a policy-resolved
+        # context carries the knobs on its backend (installed by
+        # ExecutionPolicy.resolve_backend), so Session.gp(...) inherits them.
+        backend_of_context = getattr(context, "backend", None)
+        self._recovery = (
+            policy.recovery if policy is not None
+            else getattr(backend_of_context, "recovery", None)
+        )
+        self._faults = (
+            policy.faults if policy is not None
+            else getattr(backend_of_context, "faults", None)
+        )
         if self.context.num_points != self.train_points.shape[0]:
             raise ValueError(
                 "context was built over a different number of points "
@@ -267,14 +279,19 @@ class GaussianProcess:
         operator = as_linear_operator(matrix, shift=noise)
         launches_before = matrix.apply_backend.counter.total()
         t0 = time.perf_counter()
+        maxiter = self.max_cg_iterations
+        if self._faults is not None:
+            maxiter = self._faults.stall_maxiter(maxiter)
         solve = cg(
             operator,
             y,
             tol=self.solve_tol,
-            maxiter=self.max_cg_iterations,
+            maxiter=maxiter,
             M=preconditioner,
             tracer=self._tracer,
         )
+        if not solve.converged and self._recovery is not None:
+            solve = self._recover_solve(solve, y, matrix, noise, factorization)
         solve_seconds = time.perf_counter() - t0
         apply_launches = matrix.apply_backend.counter.total() - launches_before
 
@@ -314,6 +331,49 @@ class GaussianProcess:
             quadratic_term=quadratic,
             report=report,
         )
+
+    def _recover_solve(self, solve, y, matrix, noise, factorization):
+        """Recovery-policy handling of a non-converged representer solve.
+
+        ``strict`` raises :class:`~repro.resilience.SolveDidNotConvergeError`;
+        ``warn`` announces the flagged result through the ``repro.resilience``
+        logger and keeps it; ``recover`` escalates through the ladder rungs
+        beyond preconditioned CG (GMRES(m), then the factorization applied as
+        a direct solve), warm-started from the failed iterate.
+        """
+        from ..resilience.errors import SolveDidNotConvergeError
+        from ..resilience.policy import resilience_adapter
+        from ..solvers.ladder import escalation_ladder
+
+        recovery = self._recovery
+        if recovery.mode == "strict":
+            raise SolveDidNotConvergeError(
+                f"representer solve did not converge in {solve.iterations} "
+                f"iterations (final residual {solve.final_residual:.3e} > "
+                f"tol {self.solve_tol:.3e}); raise max_cg_iterations or the "
+                "noise",
+                result=solve,
+            )
+        if recovery.mode == "warn":
+            resilience_adapter().warn(
+                "gp-solve-not-converged", iterations=solve.iterations,
+                final_residual=solve.final_residual, tol=self.solve_tol,
+            )
+            return solve
+        rungs = tuple(r for r in recovery.ladder if r not in ("cg", "pcg"))
+        if not rungs:
+            raise SolveDidNotConvergeError(
+                "representer solve did not converge and the recovery ladder "
+                f"has no rungs beyond pcg (ladder={list(recovery.ladder)})",
+                result=solve,
+            )
+        escalated = escalation_ladder(
+            matrix, y, tol=self.solve_tol, shift=noise,
+            factorization=factorization, recovery=recovery, rungs=rungs,
+            x0=solve.x, tracer=self._tracer,
+        )
+        escalated.extra["escalated_from"] = solve.method
+        return escalated
 
     # --------------------------------------------------------------------- fit
     def fit(

@@ -96,20 +96,25 @@ class StructuredLogAdapter:
 
     All health signals report through one adapter so a deployment can route
     them (or silence them) with a single logger name.  Each warning also
-    increments the ``health.warnings`` counter in the metrics registry.
+    increments a counter in the metrics registry — ``health.warnings`` by
+    default; subsystems with their own warning budget (e.g.
+    :mod:`repro.resilience`, counting ``resilience.warnings``) pass their
+    counter name so dashboards can tell the streams apart.
     """
 
     def __init__(
         self,
         logger_name: str = "repro.observe.health",
         metrics: Optional[MetricsRegistry] = None,
+        counter: str = "health.warnings",
     ):
         self._logger = logging.getLogger(logger_name)
         self._metrics = metrics
+        self._counter_name = str(counter)
 
     def warn(self, event: str, span: object = None, **fields: object) -> None:
         registry = self._metrics if self._metrics is not None else _global_metrics()
-        registry.counter("health.warnings").inc()
+        registry.counter(self._counter_name).inc()
         parts = [f"event={event}"]
         if span is not None:
             parts.append(f"span={getattr(span, 'name', '?')}")

@@ -62,6 +62,80 @@ _STORAGE_ALIASES = {"hss": "h2"}
 ARTIFACT_SUFFIX = ".repro"
 
 
+class ArtifactLockError(ArtifactError):
+    """Timed out acquiring the cache directory lock."""
+
+
+class _DirectoryLock:
+    """Advisory file lock serialising writers of one cache directory.
+
+    Acquisition is ``O_CREAT | O_EXCL`` (atomic on every POSIX filesystem and
+    on Windows) with exponential backoff from 1 ms up to 50 ms per attempt;
+    a lock file older than ``stale_seconds`` is presumed orphaned (writer
+    crashed between create and unlink) and stolen.  Readers never take the
+    lock — artifact writes are atomic renames, so ``get`` stays lock-free.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        timeout: float = 10.0,
+        stale_seconds: float = 30.0,
+    ):
+        self.path = directory / ".repro-cache.lock"
+        self.timeout = float(timeout)
+        self.stale_seconds = float(stale_seconds)
+        self._held = False
+
+    def __enter__(self) -> "_DirectoryLock":
+        delay = 0.001
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat: retry now
+                if age > self.stale_seconds:
+                    # Orphaned lock (writer died): steal it.  The unlink may
+                    # race with another staleness check — both proceed to a
+                    # fresh O_CREAT|O_EXCL attempt, only one wins.
+                    try:
+                        self.path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    raise ArtifactLockError(
+                        f"timed out after {self.timeout:.1f}s waiting for "
+                        f"{self.path} (held by pid "
+                        f"{self._holder_pid() or 'unknown'})"
+                    )
+                time.sleep(delay)
+                delay = min(delay * 2, 0.05)
+            else:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                self._held = True
+                return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._held:
+            self._held = False
+            try:
+                self.path.unlink()
+            except OSError:  # pragma: no cover - stolen as stale meanwhile
+                pass
+
+    def _holder_pid(self) -> Optional[str]:
+        try:
+            return self.path.read_text().strip() or None
+        except OSError:  # pragma: no cover - released meanwhile
+            return None
+
+
 def kernel_descriptor(kernel: KernelFunction) -> dict:
     """JSON identity of a kernel: class qualname + scalar hyperparameters.
 
@@ -103,6 +177,17 @@ class ArtifactCache:
     mmap:
         Whether :meth:`get` loads entries as zero-copy memmap views
         (default) or materialised in-memory copies.
+    verify:
+        When ``True``, every :meth:`get` recomputes the stored per-buffer
+        SHA-256 digests before trusting an entry (container version ≥ 2).
+        Costs a full read of the artifact, so it is off by default; the
+        façade turns it on per call when a
+        :class:`~repro.resilience.RecoveryPolicy` is installed.
+    lock_timeout:
+        Seconds :meth:`put`/:meth:`clear` wait for the cache directory lock
+        (concurrent writers back off exponentially; a lock older than 30 s
+        is presumed orphaned and stolen).  Timeout raises
+        :class:`ArtifactLockError`.
     """
 
     def __init__(
@@ -110,14 +195,21 @@ class ArtifactCache:
         directory: str | os.PathLike,
         max_bytes: int | None = None,
         mmap: bool = True,
+        verify: bool = False,
+        lock_timeout: float = 10.0,
     ):
         self.directory = Path(directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = int(max_bytes) if max_bytes is not None else None
         self.mmap = bool(mmap)
+        self.verify = bool(verify)
+        self.lock_timeout = float(lock_timeout)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _lock(self) -> _DirectoryLock:
+        return _DirectoryLock(self.directory, timeout=self.lock_timeout)
 
     # ----------------------------------------------------------------- keying
     def key(
@@ -175,23 +267,61 @@ class ArtifactCache:
         return self.directory / f"{key}{ARTIFACT_SUFFIX}"
 
     # ---------------------------------------------------------------- get/put
-    def get(self, key: str, tracer: object | None = None):
+    def get(
+        self,
+        key: str,
+        tracer: object | None = None,
+        on_corruption: str = "evict",
+        verify: bool | None = None,
+    ):
         """The cached operator for ``key``, or ``None`` on a miss.
 
-        A hit refreshes the entry's LRU timestamp.  Corrupted or
-        version-mismatched entries are dropped and count as misses — the
-        caller rebuilds and overwrites them.
+        A hit refreshes the entry's LRU timestamp.  ``on_corruption``
+        decides what a corrupted / version-mismatched entry does:
+
+        ``"evict"``
+            (default) drop the entry and count a miss — the caller rebuilds
+            and overwrites it;
+        ``"warn"``
+            evict *and* announce the corruption through the
+            ``repro.resilience`` structured logger;
+        ``"raise"``
+            raise :class:`~repro.resilience.ArtifactIntegrityError` (the
+            strict-mode behaviour: nothing is papered over).
+
+        ``verify`` overrides the instance's checksum-verification default
+        for this call.
         """
+        if on_corruption not in ("evict", "warn", "raise"):
+            raise ValueError(
+                f"on_corruption must be 'evict', 'warn' or 'raise', "
+                f"not {on_corruption!r}"
+            )
+        check = self.verify if verify is None else bool(verify)
         path = self.path_for(key)
         registry = metrics()
         if path.exists():
             try:
                 if tracer is not None and getattr(tracer, "enabled", False):
                     with tracer.span("persist.load", category="persist", key=key):
-                        operator = load(path, mmap=self.mmap)
+                        operator = load(path, mmap=self.mmap, verify=check)
                 else:
-                    operator = load(path, mmap=self.mmap)
-            except ArtifactError:
+                    operator = load(path, mmap=self.mmap, verify=check)
+            except ArtifactError as exc:
+                if on_corruption == "raise":
+                    from ..resilience.errors import ArtifactIntegrityError
+
+                    raise ArtifactIntegrityError(
+                        f"cache entry {key} is corrupted: {exc}",
+                        stage="persist.get",
+                        context={"key": key, "path": str(path)},
+                    ) from exc
+                if on_corruption == "warn":
+                    from ..resilience.policy import resilience_adapter
+
+                    resilience_adapter().warn(
+                        "artifact-corrupted", key=key, error=str(exc)
+                    )
                 # A torn/stale entry must not poison the cache: drop it and
                 # report a miss so the caller reconstructs.
                 try:
@@ -224,9 +354,15 @@ class ArtifactCache:
         return None
 
     def put(self, key: str, operator: object) -> Path:
-        """Store ``operator`` under ``key`` (atomic write), evict over budget."""
-        path = save(operator, self.path_for(key))
-        self._enforce_budget()
+        """Store ``operator`` under ``key`` (atomic write), evict over budget.
+
+        Writers of the same cache directory are serialised by an advisory
+        file lock with exponential backoff, so concurrent processes sharing
+        one cache cannot interleave eviction scans with each other's writes.
+        """
+        with self._lock():
+            path = save(operator, self.path_for(key))
+            self._enforce_budget()
         self._account_bytes()
         return path
 
@@ -268,11 +404,12 @@ class ArtifactCache:
 
     def clear(self) -> None:
         """Delete every cache entry."""
-        for path in self._entries():
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - race with other process
-                pass
+        with self._lock():
+            for path in self._entries():
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - race with other process
+                    pass
         self._account_bytes()
 
     def _account_bytes(self) -> None:

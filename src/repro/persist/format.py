@@ -24,6 +24,7 @@ half-written artifact.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -36,7 +37,10 @@ import numpy as np
 MAGIC = b"REPROART"
 #: Version of the container layout (preamble + header + buffer directory).
 #: Independent of the per-format ``format_version`` carried in the header.
-CONTAINER_VERSION = 1
+#: Version 2 adds a ``sha256`` hex digest to every buffer directory entry;
+#: version-1 artifacts (no digests) remain readable, they just cannot be
+#: checksum-verified.
+CONTAINER_VERSION = 2
 #: Buffer alignment in bytes — generous enough for any numpy dtype and for
 #: cache-line/SIMD-friendly access through the memmap.
 ALIGNMENT = 64
@@ -87,6 +91,7 @@ def write_artifact(
                 "shape": list(array.shape),
                 "offset": offset,
                 "nbytes": int(array.nbytes),
+                "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
             }
         )
         arrays.append((offset, array))
@@ -123,19 +128,24 @@ def write_artifact(
 
 
 def read_artifact(
-    path: str | os.PathLike, mmap: bool = True
+    path: str | os.PathLike, mmap: bool = True, verify: bool = False
 ) -> Tuple[dict, Dict[str, np.ndarray]]:
     """Read one artifact: ``(header, {buffer name -> array})``.
 
     With ``mmap=True`` (default) every returned array is a zero-copy
     read-only view into one :class:`numpy.memmap` over the file; with
     ``mmap=False`` the file is read into memory once (the views are still
-    marked read-only for symmetry).  Raises :class:`ArtifactFormatError` on
-    anything malformed and :class:`ArtifactVersionError` on a container
+    marked read-only for symmetry).  ``verify=True`` recomputes every
+    buffer's SHA-256 against the digest stored in the directory (container
+    version ≥ 2; version-1 entries without a digest are skipped) — this
+    touches every byte, so it trades the memmap's lazy paging for integrity.
+    Raises :class:`ArtifactFormatError` on anything malformed (including a
+    checksum mismatch) and :class:`ArtifactVersionError` on a container
     written by a newer library.
     """
     path = Path(path)
     try:
+        file_size = os.path.getsize(path)
         with open(path, "rb") as fh:
             preamble = fh.read(_PREAMBLE.size)
             if len(preamble) < _PREAMBLE.size:
@@ -149,6 +159,14 @@ def read_artifact(
                 raise ArtifactVersionError(
                     f"{path}: container version {container_version} is newer "
                     f"than this library supports ({CONTAINER_VERSION})"
+                )
+            # Bounds-check before trusting header_length: a truncated or
+            # bit-flipped preamble must fail typed, not allocate gigabytes or
+            # hand json a short read.
+            if _PREAMBLE.size + header_length > file_size:
+                raise ArtifactFormatError(
+                    f"{path}: header length {header_length} exceeds the file "
+                    f"size {file_size} (truncated or corrupted artifact)"
                 )
             payload = fh.read(header_length)
     except OSError as exc:
@@ -191,5 +209,15 @@ def read_artifact(
             raise ArtifactFormatError(
                 f"{path}: buffer {name!r} exceeds the file bounds"
             )
-        buffers[name] = raw[offset : offset + nbytes].view(dtype).reshape(shape)
+        raw_bytes = raw[offset : offset + nbytes]
+        if verify:
+            digest = entry.get("sha256")
+            if digest is not None:
+                actual = hashlib.sha256(raw_bytes.tobytes()).hexdigest()
+                if actual != digest:
+                    raise ArtifactFormatError(
+                        f"{path}: buffer {name!r} failed its checksum "
+                        f"(stored {digest[:12]}…, computed {actual[:12]}…)"
+                    )
+        buffers[name] = raw_bytes.view(dtype).reshape(shape)
     return header, buffers

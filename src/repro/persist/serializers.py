@@ -112,17 +112,19 @@ def save(op: object, path: str | os.PathLike) -> Path:
     return write_artifact(path, name, spec.version, meta, buffers)
 
 
-def load(path: str | os.PathLike, mmap: bool = True):
+def load(path: str | os.PathLike, mmap: bool = True, verify: bool = False):
     """Load the operator stored at ``path``.
 
     ``mmap=True`` (default) maps the block data zero-copy, so a multi-GB
-    operator opens in milliseconds and pages in lazily.  Raises
+    operator opens in milliseconds and pages in lazily.  ``verify=True``
+    checks every buffer's stored SHA-256 before reconstruction (see
+    :func:`~repro.persist.format.read_artifact`).  Raises
     :class:`~repro.persist.format.ArtifactVersionError` when the artifact's
     recorded format version differs from the registered one, and
     :class:`~repro.persist.format.ArtifactFormatError` on unknown formats or
     corrupted files.
     """
-    header, buffers = read_artifact(path, mmap=mmap)
+    header, buffers = read_artifact(path, mmap=mmap, verify=verify)
     name = str(header["format"]).lower()
     spec = _FORMATS.get(name)
     if spec is None:

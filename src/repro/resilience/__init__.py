@@ -1,0 +1,52 @@
+"""Guarded execution: recovery policies, typed errors and fault injection.
+
+The resilience subsystem turns the warn-only health signals of
+:mod:`repro.observe` into recovery *actions*, threaded through
+:class:`~repro.api.policy.ExecutionPolicy` exactly like the tracer::
+
+    policy = repro.ExecutionPolicy(recovery="recover")     # or RecoveryPolicy(...)
+    h2 = repro.compress(points, kernel, policy=policy)
+
+* :class:`RecoveryPolicy` — strict / warn / recover modes with per-stage
+  retry budgets, consulted at every guarded boundary (sample sketching, the
+  packed sweep engine, artifact loads, Krylov solves);
+* :class:`~repro.resilience.errors.ResilienceError` and subclasses — the
+  typed failure surface (never a silent wrong answer);
+* :class:`FaultInjector` — deterministic, seedable fault injection
+  (``ExecutionPolicy(faults=...)`` / ``REPRO_FAULTS``) exercising every
+  recovery path reproducibly;
+* the solver escalation ladder lives in :mod:`repro.solvers.ladder`
+  (CG → preconditioned CG → GMRES(m) → HODLR direct).
+"""
+
+from .errors import (
+    ArtifactIntegrityError,
+    ConstructionFaultError,
+    EscalationExhaustedError,
+    MemoryBudgetError,
+    RankSaturationError,
+    ResilienceError,
+    SampleCorruptionError,
+    SolveDidNotConvergeError,
+)
+from .faults import FAULT_KINDS, FaultInjector, FaultSpec, InjectedFault
+from .policy import DEFAULT_LADDER, MODES, RecoveryPolicy, resilience_adapter
+
+__all__ = [
+    "ArtifactIntegrityError",
+    "ConstructionFaultError",
+    "DEFAULT_LADDER",
+    "EscalationExhaustedError",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "MODES",
+    "MemoryBudgetError",
+    "RankSaturationError",
+    "RecoveryPolicy",
+    "ResilienceError",
+    "SampleCorruptionError",
+    "SolveDidNotConvergeError",
+    "resilience_adapter",
+]

@@ -1,0 +1,78 @@
+"""Typed error hierarchy of the resilience subsystem.
+
+Every guarded boundary in the pipeline (sample sketching, the packed sweep
+engine, artifact loads, Krylov solves) reports failures through this
+hierarchy, so callers can distinguish *what* failed without string-matching:
+
+* a ``strict``-mode :class:`~repro.resilience.policy.RecoveryPolicy` converts
+  any detected fault into the matching typed error;
+* ``warn``/``recover`` modes only raise when the recovery budget is
+  exhausted — and then still through these types, never a bare
+  ``RuntimeError``/``struct.error``.
+
+All errors carry the pipeline ``stage`` they were detected at and a free-form
+``context`` dict for diagnostics (retry counts, budgets, residuals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ResilienceError(RuntimeError):
+    """Base of every typed failure surfaced by the resilience subsystem."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str = "",
+        context: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.context: Dict[str, object] = dict(context or {})
+
+
+class ConstructionFaultError(ResilienceError):
+    """The construction sweep failed (engine error, injected launch fault)."""
+
+
+class SampleCorruptionError(ConstructionFaultError):
+    """A sketched sample block carried NaN/Inf entries at the launch boundary."""
+
+
+class RankSaturationError(ConstructionFaultError):
+    """Adaptive sampling exhausted its budget before every node converged."""
+
+
+class MemoryBudgetError(ResilienceError):
+    """The packed sweep's workspace would exceed the configured byte budget."""
+
+
+class SolveDidNotConvergeError(ResilienceError):
+    """A Krylov solve exhausted ``maxiter`` without reaching the tolerance.
+
+    Carries the non-converged :class:`~repro.solvers.krylov.KrylovResult` as
+    ``result`` so diagnostics (residual history, health events) survive the
+    raise.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        result: object = None,
+        stage: str = "solve",
+        context: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(message, stage=stage, context=context)
+        self.result = result
+
+
+class EscalationExhaustedError(SolveDidNotConvergeError):
+    """Every rung of the solver escalation ladder failed to reach tolerance."""
+
+
+class ArtifactIntegrityError(ResilienceError):
+    """A persisted artifact failed its integrity checks (checksums, bounds)."""

@@ -12,11 +12,15 @@ operators, dense and sparse matrices) plugs into the same three layers:
   as ``M^{-1}`` inside the Krylov loop;
 * :mod:`~repro.solvers.multifrontal_solve` — a nested-dissection sparse solve
   whose large fronts are compressed with the sketching constructor (the
-  paper's application scenario).
+  paper's application scenario);
+* :mod:`~repro.solvers.ladder` — the resilience escalation ladder
+  (CG → preconditioned CG → GMRES(m) → HODLR direct) entered on
+  non-converged solves under a :class:`~repro.resilience.RecoveryPolicy`.
 """
 
 from .hodlr_factor import HODLRFactorization
 from .krylov import KrylovResult, bicgstab, cg, gmres
+from .ladder import RungReport, escalation_ladder
 from .multifrontal_solve import FrontReport, MultifrontalSolver
 from .preconditioner import HierarchicalPreconditioner
 
@@ -24,7 +28,9 @@ __all__ = [
     "cg",
     "gmres",
     "bicgstab",
+    "escalation_ladder",
     "KrylovResult",
+    "RungReport",
     "HODLRFactorization",
     "HierarchicalPreconditioner",
     "MultifrontalSolver",

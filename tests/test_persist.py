@@ -478,3 +478,198 @@ class TestAcceptance:
             f"warm load {warm_seconds:.3f}s vs cold construction "
             f"{cold_seconds:.3f}s: speedup {speedup:.1f}x < {floor:.1f}x"
         )
+
+
+class TestIntegrityHardening:
+    """Container v2 checksums, truncation detection, corruption policies and
+    the cache directory lock (the resilience PR's persistence hardening)."""
+
+    @pytest.fixture()
+    def small_artifact(self, tmp_path):
+        path = tmp_path / "small.repro"
+        a = np.arange(20.0).reshape(4, 5)
+        b = np.arange(6, dtype=np.int64)
+        write_artifact(path, "test", 1, {"k": 1}, [("a", a), ("b", b)])
+        return path, a, b
+
+    def test_v2_writes_checksums(self, small_artifact):
+        path, a, b = small_artifact
+        header, buffers = read_artifact(path, verify=True)
+        assert header["container_version"] == 2
+        assert all(len(e["sha256"]) == 64 for e in header["buffers"])
+        assert np.array_equal(buffers["a"], a)
+        assert np.array_equal(buffers["b"], b)
+
+    def test_verify_catches_flipped_payload_byte(self, small_artifact, tmp_path):
+        path, _, _ = small_artifact
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF
+        bad = tmp_path / "flipped.repro"
+        bad.write_bytes(bytes(data))
+        read_artifact(bad)  # lazy read does not touch the payload
+        with pytest.raises(ArtifactFormatError, match="checksum"):
+            read_artifact(bad, verify=True)
+
+    def test_zero_byte_file(self, tmp_path):
+        path = tmp_path / "zero.repro"
+        path.write_bytes(b"")
+        with pytest.raises(ArtifactFormatError, match="truncated"):
+            read_artifact(path)
+
+    def test_bogus_header_length(self, tmp_path):
+        from repro.persist.format import CONTAINER_VERSION, _PREAMBLE
+
+        path = tmp_path / "huge.repro"
+        path.write_bytes(_PREAMBLE.pack(MAGIC, CONTAINER_VERSION, 10**15))
+        with pytest.raises(ArtifactFormatError, match="exceeds the file size"):
+            read_artifact(path)
+
+    def test_v1_artifact_without_digests_still_reads(self, tmp_path):
+        # A hand-built version-1 container (no sha256 entries) must load even
+        # under verify=True: verification is skipped, not failed.
+        import json
+
+        from repro.persist.format import _PREAMBLE, _align
+
+        a = np.arange(12.0).reshape(3, 4)
+        header = {
+            "container_version": 1,
+            "format": "test",
+            "format_version": 1,
+            "meta": {},
+            "buffers": [
+                {"name": "a", "dtype": a.dtype.str, "shape": list(a.shape),
+                 "offset": 0, "nbytes": int(a.nbytes)}
+            ],
+        }
+        payload = json.dumps(header, separators=(",", ":")).encode()
+        data_start = _align(_PREAMBLE.size + len(payload))
+        path = tmp_path / "v1.repro"
+        with open(path, "wb") as fh:
+            fh.write(_PREAMBLE.pack(MAGIC, 1, len(payload)))
+            fh.write(payload)
+            fh.write(b"\0" * (data_start - _PREAMBLE.size - len(payload)))
+            fh.write(a.tobytes())
+        _, buffers = read_artifact(path, verify=True)
+        assert np.array_equal(buffers["a"], a)
+
+    def _corrupt_entry(self, cache, key):
+        path = cache.path_for(key)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return path
+
+    @pytest.fixture()
+    def cached_operator(self, persist_points, persist_kernel, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        op = compress(persist_points, persist_kernel, tol=TOL, seed=3)
+        cache.put("k", op)
+        return cache, op
+
+    def test_corruption_evicts_by_default(self, cached_operator):
+        cache, _ = cached_operator
+        path = self._corrupt_entry(cache, "k")
+        assert cache.get("k", verify=True) is None
+        assert not path.exists()
+
+    def test_corruption_raise_mode(self, cached_operator):
+        from repro.resilience import ArtifactIntegrityError
+
+        cache, _ = cached_operator
+        path = self._corrupt_entry(cache, "k")
+        with pytest.raises(ArtifactIntegrityError) as excinfo:
+            cache.get("k", on_corruption="raise", verify=True)
+        assert excinfo.value.stage == "persist.get"
+        assert path.exists()  # kept for forensics
+
+    def test_corruption_warn_mode(self, cached_operator):
+        import logging
+
+        cache, _ = cached_operator
+        path = self._corrupt_entry(cache, "k")
+        records: list = []
+        handler = logging.Handler()
+        handler.emit = lambda record: records.append(record.getMessage())
+        logger = logging.getLogger("repro.resilience")
+        logger.addHandler(handler)
+        try:
+            assert cache.get("k", on_corruption="warn", verify=True) is None
+        finally:
+            logger.removeHandler(handler)
+        assert not path.exists()
+        assert any("artifact-corrupted" in m for m in records)
+
+    def test_zero_byte_cache_entry_is_a_miss(self, cached_operator):
+        cache, _ = cached_operator
+        cache.path_for("k").write_bytes(b"")
+        assert cache.get("k") is None
+        assert not cache.path_for("k").exists()
+
+    def test_corrupt_artifact_fault_through_compress(
+        self, persist_points, persist_kernel, tmp_path
+    ):
+        from repro import ExecutionPolicy
+
+        cdir = tmp_path / "cache"
+        kwargs = dict(tol=TOL, seed=3, cache_dir=cdir)
+        faulty = ExecutionPolicy(
+            faults="corrupt-artifact-buffer:nth=1", recovery="recover"
+        )
+        first = compress(persist_points, persist_kernel, policy=faulty, **kwargs)
+        # The artifact on disk is now corrupted; the next compress must
+        # detect it, evict and reconstruct rather than return garbage.
+        healed = compress(
+            persist_points, persist_kernel,
+            policy=ExecutionPolicy(recovery="recover"), **kwargs
+        )
+        x = np.random.default_rng(0).standard_normal(len(persist_points))
+        assert np.allclose(first.matvec(x), healed.matvec(x))
+
+    def test_corrupt_artifact_fault_strict_raises(
+        self, persist_points, persist_kernel, tmp_path
+    ):
+        from repro import ExecutionPolicy
+        from repro.resilience import ArtifactIntegrityError
+
+        cdir = tmp_path / "cache"
+        kwargs = dict(tol=TOL, seed=3, cache_dir=cdir)
+        compress(
+            persist_points, persist_kernel,
+            policy=ExecutionPolicy(
+                faults="corrupt-artifact-buffer:nth=1", recovery="recover"
+            ),
+            **kwargs,
+        )
+        with pytest.raises(ArtifactIntegrityError):
+            compress(
+                persist_points, persist_kernel,
+                policy=ExecutionPolicy(recovery="strict"), **kwargs
+            )
+
+    def test_lock_times_out_then_steals_stale(self, tmp_path):
+        from repro.persist.cache import ArtifactLockError, _DirectoryLock
+
+        ldir = tmp_path / "locked"
+        ldir.mkdir()
+        lock_path = ldir / ".repro-cache.lock"
+        lock_path.write_text("99999")  # a foreign holder
+        with pytest.raises(ArtifactLockError):
+            with _DirectoryLock(ldir, timeout=0.15, stale_seconds=30.0):
+                pass
+        # Backdate the lock past the staleness horizon: it must be stolen.
+        old = os.path.getmtime(lock_path) - 120
+        os.utime(lock_path, (old, old))
+        with _DirectoryLock(ldir, timeout=0.5, stale_seconds=30.0):
+            pass
+        assert not lock_path.exists()
+
+    def test_put_is_lock_guarded(self, persist_points, persist_kernel, tmp_path):
+        # A held (fresh) lock makes put fail typed instead of racing.
+        from repro.persist.cache import ArtifactLockError
+
+        cache = ArtifactCache(tmp_path, lock_timeout=0.15)
+        op = compress(persist_points, persist_kernel, tol=TOL, seed=3)
+        (tmp_path / ".repro-cache.lock").write_text("99999")
+        with pytest.raises(ArtifactLockError):
+            cache.put("k", op)
