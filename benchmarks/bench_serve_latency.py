@@ -1,0 +1,167 @@
+"""Serving latency/throughput: micro-batched vs batching-disabled baseline.
+
+The acceptance benchmark of the ``repro.serve`` subsystem: one model of
+``N`` points served to ``C`` concurrent clients, each issuing sequential
+posterior-solve requests.  The only difference between the two measured
+configurations is the ``batching=`` switch — identical registry, identical
+factorization (pre-built), identical worker pool size — so the reported
+speedup isolates what coalescing concurrent single-vector solves into one
+block-RHS launch buys.
+
+Acceptance contract (defaults: N=4096, 64 clients):
+
+* micro-batched throughput >= 3x the batching-disabled baseline;
+* every batched answer matches the unbatched direct solve within solver
+  tolerance (max relative error is printed and emitted).
+
+Scale with environment variables::
+
+    REPRO_SERVE_BENCH_N        problem size (default 4096)
+    REPRO_SERVE_BENCH_CLIENTS  concurrent clients (default 64)
+    REPRO_SERVE_BENCH_ROUNDS   sequential requests per client (default 6)
+    REPRO_SERVE_SPEEDUP_MIN    speedup bar (default 3.0 — the acceptance
+                               target at full scale; relax on scaled-down or
+                               noisy-shared-runner configurations)
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+
+import repro
+from repro import ExponentialKernel, uniform_cube_points
+from repro.serve import InferenceServer, SolveRequest
+
+from common import emit_bench_json
+
+MODEL = "bench"
+NOISE = 1e-2
+TOL = 1e-6
+SEED = 7
+SPEEDUP_TARGET = float(os.environ.get("REPRO_SERVE_SPEEDUP_MIN", "3.0"))
+
+
+def bench_config() -> tuple[int, int, int]:
+    n = int(os.environ.get("REPRO_SERVE_BENCH_N", "4096"))
+    clients = int(os.environ.get("REPRO_SERVE_BENCH_CLIENTS", "64"))
+    rounds = int(os.environ.get("REPRO_SERVE_BENCH_ROUNDS", "6"))
+    return n, clients, rounds
+
+
+def build_server(operator, *, batching: bool, clients: int) -> InferenceServer:
+    server = InferenceServer(batching=batching, max_batch=clients,
+                             max_wait_ms=2.0)
+    server.register(MODEL, operator, noise=NOISE)
+    # Pre-build the factorization so neither mode pays it inside the timing.
+    server.registry.get(MODEL).factorization()
+    return server
+
+
+def run_mode(server: InferenceServer, payloads, rounds: int) -> dict:
+    """Fire ``rounds`` waves of one concurrent request per payload."""
+    latencies_ms: list[float] = []
+    responses = []
+
+    async def client(b):
+        start = time.perf_counter()
+        response = await server.handle(SolveRequest(model=MODEL, b=b))
+        latencies_ms.append((time.perf_counter() - start) * 1000.0)
+        return response
+
+    async def wave():
+        return await asyncio.gather(*[client(b) for b in payloads])
+
+    async def main():
+        for _ in range(rounds):
+            responses.append(await wave())
+
+    start = time.perf_counter()
+    asyncio.run(main())
+    elapsed = time.perf_counter() - start
+    asyncio.run(server.aclose())
+
+    total = rounds * len(payloads)
+    lat = np.asarray(latencies_ms)
+    return {
+        "requests": total,
+        "elapsed_seconds": elapsed,
+        "throughput_rps": total / elapsed,
+        "latency_p50_ms": float(np.percentile(lat, 50)),
+        "latency_p95_ms": float(np.percentile(lat, 95)),
+        "latency_p99_ms": float(np.percentile(lat, 99)),
+        "mean_batch_size": server.batcher.statistics()["mean_batch_size"],
+        "responses": responses,
+    }
+
+
+def main() -> int:
+    n, clients, rounds = bench_config()
+    print(f"serve latency benchmark: N={n}, {clients} clients, "
+          f"{rounds} rounds ({clients * rounds} solves per mode)")
+
+    points = uniform_cube_points(n, dim=3, seed=1)
+    operator = repro.compress(
+        points, ExponentialKernel(0.2), format="hss", tol=TOL, seed=SEED
+    )
+    rng = np.random.default_rng(SEED)
+    payloads = [rng.standard_normal(n) for _ in range(clients)]
+
+    modes = {}
+    for name, batching in (("unbatched", False), ("batched", True)):
+        server = build_server(operator, batching=batching, clients=clients)
+        modes[name] = run_mode(server, payloads, rounds)
+        print(f"  {name:10s} {modes[name]['throughput_rps']:8.1f} req/s   "
+              f"p50 {modes[name]['latency_p50_ms']:7.2f} ms   "
+              f"p95 {modes[name]['latency_p95_ms']:7.2f} ms   "
+              f"p99 {modes[name]['latency_p99_ms']:7.2f} ms   "
+              f"mean batch {modes[name]['mean_batch_size']:5.1f}")
+
+    # Correctness: every batched answer must match its unbatched twin within
+    # solver tolerance (same payload index, same wave index).
+    max_rel_err = 0.0
+    for wave_batched, wave_unbatched in zip(
+        modes["batched"].pop("responses"), modes["unbatched"].pop("responses")
+    ):
+        for rb, ru in zip(wave_batched, wave_unbatched):
+            denom = max(float(np.linalg.norm(ru.x)), 1e-30)
+            max_rel_err = max(
+                max_rel_err, float(np.linalg.norm(rb.x - ru.x)) / denom
+            )
+
+    speedup = (
+        modes["batched"]["throughput_rps"]
+        / modes["unbatched"]["throughput_rps"]
+    )
+    passed = speedup >= SPEEDUP_TARGET and max_rel_err < 1e-8
+    print(f"  batching speedup: {speedup:.2f}x "
+          f"(target >= {SPEEDUP_TARGET:.0f}x), "
+          f"max relative error vs unbatched: {max_rel_err:.2e}")
+    print(f"  acceptance: {'PASS' if passed else 'FAIL'}")
+
+    emit_bench_json(
+        "serve_latency",
+        {
+            "n": n,
+            "clients": clients,
+            "rounds": rounds,
+            "unbatched": modes["unbatched"],
+            "batched": modes["batched"],
+            "speedup": speedup,
+            "max_relative_error": max_rel_err,
+            "speedup_target": SPEEDUP_TARGET,
+            "pass": passed,
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

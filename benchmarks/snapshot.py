@@ -138,6 +138,44 @@ def take_snapshot(
         "construction_packed_seconds"
     ] / max(warm_seconds, 1e-9)
 
+    # Serving: concurrent posterior solves through repro.serve, micro-batched
+    # vs the batching-disabled baseline (identical server otherwise).
+    import asyncio
+
+    from repro.serve import InferenceServer, SolveRequest
+
+    serve_clients = int(os.environ.get("REPRO_SNAPSHOT_SERVE_CLIENTS", "32"))
+    serve_rng = np.random.default_rng(SEED)
+    serve_payloads = [serve_rng.standard_normal(n) for _ in range(serve_clients)]
+
+    def serve_mode(batching: bool) -> tuple[float, float]:
+        server = InferenceServer(batching=batching, max_batch=serve_clients,
+                                 policy=policy)
+        server.register("snapshot", sess.operator, noise=NOISE, policy=policy)
+        server.registry.get("snapshot").factorization()  # outside the timing
+        latencies: list[float] = []
+
+        async def client(b):
+            t0 = time.perf_counter()
+            await server.handle(SolveRequest(model="snapshot", b=b))
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+
+        async def fire():
+            await asyncio.gather(*[client(b) for b in serve_payloads])
+
+        start = time.perf_counter()
+        asyncio.run(fire())
+        rps = serve_clients / (time.perf_counter() - start)
+        asyncio.run(server.aclose())
+        return rps, float(np.percentile(latencies, 95))
+
+    unbatched_rps, _ = serve_mode(False)
+    batched_rps, batched_p95 = serve_mode(True)
+    headlines["serve_unbatched_rps"] = unbatched_rps
+    headlines["serve_batched_rps"] = batched_rps
+    headlines["serve_batching_speedup"] = batched_rps / max(unbatched_rps, 1e-9)
+    headlines["serve_batched_p95_ms"] = batched_p95
+
     # GP hyperparameter sweep (geometry re-use across the grid).
     gp_points = uniform_cube_points(n_gp, dim=3, seed=2)
     gp_sess = Session(gp_points, policy=ExecutionPolicy(tracer=tracer), seed=SEED)
@@ -166,6 +204,7 @@ def take_snapshot(
         "config": {
             "n": n,
             "n_gp": n_gp,
+            "serve_clients": serve_clients,
             "seed": SEED,
             "noise": NOISE,
             "length_scales": list(GP_LENGTH_SCALES),

@@ -160,6 +160,7 @@ from . import observe
 from .observe import HealthThresholds, SpanTracer
 from . import persist
 from .persist import ArtifactCache, load_operator, save_operator
+from . import serve
 from . import resilience
 from .resilience import (
     FaultInjector,
@@ -200,7 +201,7 @@ from .tree import (
     build_block_partition,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Public API, kept alphabetically sorted (guarded by tests/test_public_api.py).
 __all__ = [
@@ -311,5 +312,6 @@ __all__ = [
     "resilience",
     "row_id",
     "save_operator",
+    "serve",
     "uniform_cube_points",
 ]

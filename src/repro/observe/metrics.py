@@ -13,43 +13,55 @@ instrument types follow the usual conventions:
 A :class:`MetricsRegistry` is a get-or-create namespace of instruments; the
 module-level :func:`metrics` accessor returns the process-wide registry that
 :class:`~repro.observe.tracer.SpanTracer` feeds by default.
+
+Every instrument and the registry itself are **thread-safe**: the serving
+layer (:mod:`repro.serve`) updates them from asyncio worker threads, so
+mutation of the instrument maps, counter/gauge values and histogram
+reservoirs is serialized by per-object :class:`threading.Lock`\\ s.  The
+locks guard single dict/list/int operations, so the hot-path cost is one
+uncontended acquire per observation.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional
 
 
 class Counter:
-    """Monotonically increasing counter."""
+    """Monotonically increasing counter (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge for deltas")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (occupancy, temperature, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def add(self, delta: float) -> None:
-        self.value += float(delta)
+        with self._lock:
+            self.value += float(delta)
 
 
 class Histogram:
@@ -58,9 +70,13 @@ class Histogram:
     ``count``/``sum``/``min``/``max`` are exact.  Percentiles are computed
     over a reservoir of the most recent ``capacity`` observations (default
     4096) — exact until the reservoir fills, a sliding window afterwards.
+    Observations and percentile reads are serialized by a per-histogram
+    lock, so concurrent writers never corrupt the reservoir index and
+    readers never see a half-updated sample list.
     """
 
-    __slots__ = ("name", "capacity", "count", "sum", "min", "max", "_samples")
+    __slots__ = ("name", "capacity", "count", "sum", "min", "max",
+                 "_samples", "_lock")
 
     def __init__(self, name: str, capacity: int = 4096):
         if capacity <= 0:
@@ -72,19 +88,21 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._samples: List[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        if len(self._samples) < self.capacity:
-            self._samples.append(value)
-        else:
-            self._samples[self.count % self.capacity] = value
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            if len(self._samples) < self.capacity:
+                self._samples.append(value)
+            else:
+                self._samples[self.count % self.capacity] = value
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -100,9 +118,10 @@ class Histogram:
         raising so exporters can never crash a run.
         """
         q = min(100.0, max(0.0, float(q)))
-        if not self._samples:
-            return math.nan
-        data = sorted(self._samples)
+        with self._lock:
+            if not self._samples:
+                return math.nan
+            data = sorted(self._samples)
         if len(data) == 1:
             return data[0]
         pos = (q / 100.0) * (len(data) - 1)
@@ -140,55 +159,75 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create namespace of named instruments."""
+    """Get-or-create namespace of named instruments (thread-safe)."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name)
         return instrument
 
     def histogram(self, name: str, capacity: int = 4096) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name, capacity=capacity)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(
+                        name, capacity=capacity
+                    )
         return instrument
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Plain-dict view of every instrument (JSON-serializable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
             "histograms": {
-                n: h.summary() for n, h in sorted(self._histograms.items())
+                n: h.summary() for n, h in sorted(histograms.items())
             },
         }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 _REGISTRY: Optional[MetricsRegistry] = None
+_REGISTRY_LOCK = threading.Lock()
 
 
 def metrics() -> MetricsRegistry:
     """The process-wide registry (created on first use)."""
     global _REGISTRY
     if _REGISTRY is None:
-        _REGISTRY = MetricsRegistry()
+        with _REGISTRY_LOCK:
+            if _REGISTRY is None:
+                _REGISTRY = MetricsRegistry()
     return _REGISTRY
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, Optional
@@ -188,6 +189,12 @@ class ArtifactCache:
         (concurrent writers back off exponentially; a lock older than 30 s
         is presumed orphaned and stolen).  Timeout raises
         :class:`ArtifactLockError`.
+
+    Thread-safety: the ``_DirectoryLock`` only serializes *cross-process*
+    writers; in-process LRU bookkeeping (hit/miss/eviction counters, the
+    mtime refresh of :meth:`get`, the eviction scan of :meth:`put`) is
+    additionally serialized by a per-instance :class:`threading.RLock`, so
+    one cache instance can be shared by the serving layer's worker threads.
     """
 
     def __init__(
@@ -207,6 +214,10 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # In-process counterpart of the cross-process _DirectoryLock:
+        # serializes counter/index mutation across worker threads sharing
+        # this instance (reentrant — put() takes it around _enforce_budget).
+        self._mutex = threading.RLock()
 
     def _lock(self) -> _DirectoryLock:
         return _DirectoryLock(self.directory, timeout=self.lock_timeout)
@@ -329,13 +340,14 @@ class ArtifactCache:
                 except OSError:  # pragma: no cover - race with other process
                     pass
             else:
-                self.hits += 1
+                with self._mutex:
+                    self.hits += 1
+                    now = time.time()
+                    try:
+                        os.utime(path, (now, now))
+                    except OSError:  # pragma: no cover - evicted meanwhile
+                        pass
                 registry.counter("persist.cache.hits").inc()
-                now = time.time()
-                try:
-                    os.utime(path, (now, now))
-                except OSError:  # pragma: no cover - entry evicted meanwhile
-                    pass
                 # Loaded operators report into the memory ledger like freshly
                 # constructed ones (memmapped views still count their bytes).
                 from ..observe.memory import (
@@ -349,7 +361,8 @@ class ArtifactCache:
                         categorize_operator_bytes(operator.memory_bytes()),
                     )
                 return operator
-        self.misses += 1
+        with self._mutex:
+            self.misses += 1
         registry.counter("persist.cache.misses").inc()
         return None
 
@@ -360,7 +373,7 @@ class ArtifactCache:
         file lock with exponential backoff, so concurrent processes sharing
         one cache cannot interleave eviction scans with each other's writes.
         """
-        with self._lock():
+        with self._mutex, self._lock():
             path = save(operator, self.path_for(key))
             self._enforce_budget()
         self._account_bytes()
@@ -400,11 +413,12 @@ class ArtifactCache:
             except OSError:  # pragma: no cover - race with other process
                 continue
             total -= size
-            self.evictions += 1
+            with self._mutex:
+                self.evictions += 1
 
     def clear(self) -> None:
         """Delete every cache entry."""
-        with self._lock():
+        with self._mutex, self._lock():
             for path in self._entries():
                 try:
                     path.unlink()
@@ -425,15 +439,16 @@ class ArtifactCache:
         return sum(p.stat().st_size for p in self._entries())
 
     def statistics(self) -> Dict[str, object]:
-        entries = self._entries()
-        return {
-            "directory": str(self.directory),
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._mutex:
+            entries = self._entries()
+            return {
+                "directory": str(self.directory),
+                "entries": len(entries),
+                "bytes": sum(p.stat().st_size for p in entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         stats = self.statistics()

@@ -1,0 +1,318 @@
+"""Micro-batching: coalesce concurrent requests into one ``matmat`` launch.
+
+The batching win this module exploits is already wired into the library: the
+compiled apply plan routes a block RHS through a single batched-GEMM launch
+(``matmat``), and the HODLR factorization solves a block RHS with level-3
+BLAS — so ``k`` concurrent single-vector queries against the *same* operator
+cost one launch sequence instead of ``k``.
+
+:class:`MicroBatcher` keeps one admission queue per ``(model, kind)``.  The
+first request of a window arms a flush timer (``max_wait_ms``); the queue
+flushes early when ``max_batch`` columns accumulate.  A flush column-stacks
+every pending payload (vectors and ``(n, k)`` blocks coalesce side by side —
+each caller gets exactly its own columns back, in its original shape),
+executes the block operation once on a worker thread, and scatters the result
+columns to the per-request futures.
+
+Isolation guarantees:
+
+* payloads are shape-validated at admission (a bad shape fails fast, never
+  enters a batch);
+* non-finite payload columns are screened at flush time — their requests fail
+  with :class:`~repro.serve.api.RequestValidationError` while their
+  batchmates execute normally;
+* if the coalesced launch itself raises, every member is retried
+  individually (``serve.batch.fallbacks``), so one poisoned request cannot
+  take its batchmates down with it.
+
+With ``enabled=False`` (or ``max_batch=1``) every request executes alone on
+the worker pool — the baseline the acceptance benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..observe.metrics import metrics
+from ..observe.tracer import NOOP_TRACER
+from .api import RequestValidationError
+from .registry import ServedModel
+
+__all__ = ["MicroBatcher", "BATCH_KINDS"]
+
+#: Block operations the batcher can coalesce.
+BATCH_KINDS = ("matvec", "solve", "predict")
+
+
+class _Pending:
+    """One admitted request: a normalized ``(n, k)`` payload plus its future."""
+
+    __slots__ = ("payload", "single", "future", "enqueued")
+
+    def __init__(self, payload: np.ndarray, single: bool, future: asyncio.Future):
+        self.payload = payload
+        self.single = single
+        self.future = future
+        self.enqueued = time.perf_counter()
+
+
+class _Queue:
+    """Admission queue of one ``(model, kind)`` pair."""
+
+    __slots__ = ("model", "kind", "items", "timer")
+
+    def __init__(self, model: ServedModel, kind: str):
+        self.model = model
+        self.kind = kind
+        self.items: List[_Pending] = []
+        self.timer: Optional[asyncio.Task] = None
+
+    @property
+    def columns(self) -> int:
+        return sum(item.payload.shape[1] for item in self.items)
+
+    def drain(self) -> List[_Pending]:
+        items, self.items = self.items, []
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+        return items
+
+
+def _execute_kind(model: ServedModel, kind: str, block: np.ndarray) -> np.ndarray:
+    """The synchronous block operation of ``kind`` (runs on a worker thread).
+
+    The model's execution lock serializes numerical work per model: compiled
+    apply plans own shared workspace buffers, so concurrent applies of one
+    operator would race.
+    """
+    with model.lock:
+        if kind == "matvec":
+            return model.operator.matmat(block)
+        if kind == "solve":
+            return model.factorization().solve(block)
+        if kind == "predict":
+            return model.operator.matmat(model.factorization().solve(block))
+        raise ValueError(f"unknown batch kind {kind!r}; use one of {BATCH_KINDS}")
+
+
+class MicroBatcher:
+    """Per-model admission queues coalescing concurrent block operations.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush as soon as this many *columns* are pending (default 64 — one
+        wide GEMM per window at the acceptance benchmark's client count).
+    max_wait_ms:
+        Longest time the first request of a window waits for batchmates
+        before the queue flushes anyway (default 2 ms).  The added latency
+        ceiling of batching.
+    enabled:
+        ``False`` turns coalescing off — every request runs alone on the
+        worker pool (the comparison baseline; correctness is identical).
+    executor:
+        Worker pool for the numerical work (default: a private
+        2-worker :class:`~concurrent.futures.ThreadPoolExecutor`; NumPy/BLAS
+        release the GIL, so admission stays responsive while a batch runs).
+    tracer:
+        Span tracer for ``serve.batch`` spans (default: no tracing).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        enabled: bool = True,
+        executor: Optional[concurrent.futures.Executor] = None,
+        tracer=None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.enabled = bool(enabled) and self.max_batch > 1
+        self._own_executor = executor is None
+        self._executor = executor or concurrent.futures.ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-serve"
+        )
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._queues: Dict[Tuple[str, str], _Queue] = {}
+        self.launches = 0
+        self.coalesced_requests = 0
+
+    # ------------------------------------------------------------------ submit
+    async def submit(
+        self, model: ServedModel, kind: str, payload: np.ndarray
+    ) -> Tuple[np.ndarray, int]:
+        """Execute ``kind`` for ``payload``, coalescing with concurrent peers.
+
+        Returns ``(result, batch_size)`` where ``batch_size`` is the number
+        of requests that shared the launch (1 when the request ran alone).
+        The result has the payload's shape (vector in, vector out).
+        """
+        if kind not in BATCH_KINDS:
+            raise ValueError(f"unknown batch kind {kind!r}; use one of {BATCH_KINDS}")
+        block, single = self._validate(model, payload)
+        loop = asyncio.get_running_loop()
+        if not self.enabled:
+            if not np.isfinite(block).all():
+                raise RequestValidationError(
+                    "payload contains non-finite values (NaN/Inf)"
+                )
+            metrics().histogram("serve.batch.requests").observe(1)
+            self.launches += 1
+            self.coalesced_requests += 1
+            result = await loop.run_in_executor(
+                self._executor, _execute_kind, model, kind, block
+            )
+            return (result[:, 0] if single else result), 1
+
+        future: asyncio.Future = loop.create_future()
+        pending = _Pending(block, single, future)
+        queue = self._queues.get((model.name, kind))
+        if queue is None or queue.model is not model:
+            # New key, or the registry replaced the model under this name:
+            # never coalesce payloads across two different operators.
+            queue = self._queues[(model.name, kind)] = _Queue(model, kind)
+        queue.items.append(pending)
+        if queue.columns >= self.max_batch:
+            await self._flush(queue)
+        elif queue.timer is None:
+            queue.timer = loop.create_task(self._flush_later(queue))
+        result, batch_size = await future
+        return (result[:, 0] if single else result), batch_size
+
+    def _validate(
+        self, model: ServedModel, payload: np.ndarray
+    ) -> Tuple[np.ndarray, bool]:
+        payload = np.asarray(payload)
+        if payload.dtype.kind not in "fiu":
+            raise RequestValidationError(
+                f"payload dtype {payload.dtype} is not real-numeric"
+            )
+        payload = np.asarray(payload, dtype=np.float64)
+        single = payload.ndim == 1
+        if single:
+            payload = payload[:, None]
+        if payload.ndim != 2 or payload.shape[0] != model.n:
+            raise RequestValidationError(
+                f"payload shape {payload.shape if not single else (payload.shape[0],)} "
+                f"does not match model {model.name!r} with n={model.n}"
+            )
+        if payload.shape[1] == 0:
+            raise RequestValidationError("payload must have at least one column")
+        return np.ascontiguousarray(payload), single
+
+    # ------------------------------------------------------------------- flush
+    async def _flush_later(self, queue: _Queue) -> None:
+        try:
+            await asyncio.sleep(self.max_wait)
+        except asyncio.CancelledError:
+            return
+        queue.timer = None
+        await self._flush(queue)
+
+    async def _flush(self, queue: _Queue) -> None:
+        items = queue.drain()
+        if not items:
+            return
+        loop = asyncio.get_running_loop()
+        registry = metrics()
+
+        # Screen non-finite payloads out of the batch: their futures fail,
+        # their batchmates still coalesce.
+        good: List[_Pending] = []
+        for item in items:
+            if not np.isfinite(item.payload).all():
+                item.future.set_exception(
+                    RequestValidationError(
+                        "payload contains non-finite values (NaN/Inf)"
+                    )
+                )
+            else:
+                good.append(item)
+        if not good:
+            return
+
+        batch_requests = len(good)
+        block = (
+            good[0].payload
+            if batch_requests == 1
+            else np.concatenate([item.payload for item in good], axis=1)
+        )
+        registry.histogram("serve.batch.requests").observe(batch_requests)
+        registry.histogram("serve.batch.columns").observe(block.shape[1])
+        if batch_requests > 1:
+            oldest = min(item.enqueued for item in good)
+            registry.histogram("serve.batch.wait_ms").observe(
+                (time.perf_counter() - oldest) * 1000.0
+            )
+        self.launches += 1
+        self.coalesced_requests += batch_requests
+        registry.counter("serve.batch.launches").inc()
+
+        with self._tracer.span(
+            "serve.batch", category="serve", model=queue.model.name,
+            kind=queue.kind, requests=batch_requests, columns=block.shape[1],
+        ):
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, _execute_kind, queue.model, queue.kind, block
+                )
+            except Exception:
+                # The coalesced launch failed: isolate by retrying each
+                # member alone so one poisoned request cannot fail the rest.
+                registry.counter("serve.batch.fallbacks").inc()
+                for item in good:
+                    try:
+                        value = await loop.run_in_executor(
+                            self._executor, _execute_kind,
+                            queue.model, queue.kind, item.payload,
+                        )
+                    except Exception as exc:
+                        if not item.future.done():
+                            item.future.set_exception(exc)
+                    else:
+                        if not item.future.done():
+                            item.future.set_result((value, 1))
+                return
+
+        offset = 0
+        for item in good:
+            width = item.payload.shape[1]
+            if not item.future.done():
+                item.future.set_result(
+                    (result[:, offset:offset + width], batch_requests)
+                )
+            offset += width
+
+    # --------------------------------------------------------------- lifecycle
+    async def drain(self) -> None:
+        """Flush every pending queue (used at shutdown)."""
+        for queue in list(self._queues.values()):
+            await self._flush(queue)
+
+    def close(self) -> None:
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait * 1000.0,
+            "launches": self.launches,
+            "coalesced_requests": self.coalesced_requests,
+            "mean_batch_size": (
+                self.coalesced_requests / self.launches if self.launches else 0.0
+            ),
+        }

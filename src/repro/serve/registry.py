@@ -1,0 +1,406 @@
+"""Named-model registry: the multi-tenant state of the inference service.
+
+A :class:`ServedModel` bundles everything one tenant's queries need — the
+compressed operator, the lazily built HODLR factorization of
+``K + noise I`` (first ``solve``/``predict``/``logdet`` pays it, later
+requests reuse it), the cached log-determinant, and an execution lock that
+serializes numerical work per model (compiled apply plans own per-plan
+workspace buffers, so two threads must not apply the same operator
+concurrently — concurrency across *different* models, and micro-batching
+within one model, are the parallelism stories).
+
+:class:`ModelRegistry` resolves models from four sources, in order of
+explicitness: an operator instance, an artifact path
+(:func:`repro.persist.load_operator`), a content key into the registry's
+:class:`~repro.persist.cache.ArtifactCache`, or ``points + kernel`` (a
+:func:`repro.compress` that consults the same cache first).  Loaded models
+are byte-accounted in the process :class:`~repro.observe.memory.MemoryLedger`
+and evicted by TTL (seconds since last use) and by an LRU byte budget, so a
+long-lived server bounds its own footprint.  When the registry's
+:class:`~repro.api.policy.ExecutionPolicy` carries
+:class:`~repro.observe.health.HealthThresholds`, every model is
+health-probed on load and the report is served by the ``health`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.policy import ExecutionPolicy
+from ..api.protocol import HierarchicalOperator
+from ..kernels.base import KernelFunction
+from ..observe.memory import categorize_operator_bytes, memory_ledger
+from ..observe.metrics import metrics
+from .api import ModelNotFoundError, ServeError
+
+__all__ = ["ModelRegistry", "ServedModel"]
+
+
+class ServedModel:
+    """One registered model: operator + lazy factorization + usage state."""
+
+    def __init__(
+        self,
+        name: str,
+        operator: HierarchicalOperator,
+        *,
+        noise: float = 0.0,
+        kernel: Optional[KernelFunction] = None,
+        tol: float = 1e-6,
+        policy: Optional[ExecutionPolicy] = None,
+    ):
+        self.name = name
+        self.operator = operator
+        self.noise = float(noise)
+        self.kernel = kernel
+        self.tol = float(tol)
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.loaded_at = time.monotonic()
+        self.last_used = self.loaded_at
+        self.requests = 0
+        self.health = None
+        #: Serializes numerical work on this model (see module docstring).
+        self.lock = threading.Lock()
+        self._factor_lock = threading.Lock()
+        self._factorization = None
+        self._logdet: Optional[Tuple[float, float]] = None
+
+    # ------------------------------------------------------------------ state
+    @property
+    def n(self) -> int:
+        return int(self.operator.shape[0])
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+        self.requests += 1
+
+    def factorization(self):
+        """The HODLR factorization of ``K + noise I`` (built on first use).
+
+        Thread-safe double-checked build: concurrent first requests block on
+        one construction instead of each paying it.
+        """
+        factorization = self._factorization
+        if factorization is not None:
+            return factorization
+        with self._factor_lock:
+            if self._factorization is None:
+                from ..api.conversion import convert
+                from ..hmatrix.hodlr import HODLRMatrix
+                from ..solvers.hodlr_factor import HODLRFactorization
+
+                operator = self.operator
+                with self.policy.tracer.span(
+                    "serve.factor", category="serve", model=self.name
+                ):
+                    hodlr = (
+                        operator
+                        if isinstance(operator, HODLRMatrix)
+                        else convert(operator, "hodlr")
+                    )
+                    self._factorization = HODLRFactorization(
+                        hodlr, shift=self.noise, tracer=self.policy.tracer
+                    )
+            return self._factorization
+
+    @property
+    def factored(self) -> bool:
+        return self._factorization is not None
+
+    def slogdet(self) -> Tuple[float, float]:
+        """Cached ``(sign, log|det|)`` of ``K + noise I``."""
+        if self._logdet is None:
+            self._logdet = self.factorization().slogdet()
+        return self._logdet
+
+    # ----------------------------------------------------------------- memory
+    def memory_bytes(self) -> int:
+        """Bytes held by the operator plus the factorization (when built)."""
+        total = int(self.operator.memory_bytes()["total"])
+        factorization = self._factorization
+        if factorization is not None:
+            total += int(factorization.memory_bytes())
+        return total
+
+    def memory_categories(self) -> Dict[str, int]:
+        """Ledger categories of this model's bytes (factor data = workspace)."""
+        categories = categorize_operator_bytes(self.operator.memory_bytes())
+        factorization = self._factorization
+        if factorization is not None:
+            categories["workspace"] = (
+                categories.get("workspace", 0) + int(factorization.memory_bytes())
+            )
+        return categories
+
+    def statistics(self) -> Dict[str, object]:
+        stats: Dict[str, object] = {
+            "name": self.name,
+            "n": self.n,
+            "format": getattr(self.operator, "format_name", "unknown"),
+            "noise": self.noise,
+            "requests": self.requests,
+            "factored": self.factored,
+            "memory_bytes": self.memory_bytes(),
+            "idle_seconds": time.monotonic() - self.last_used,
+        }
+        if self.health is not None:
+            stats["health"] = {
+                "est_relative_error": self.health.est_relative_error,
+                "flagged": self.health.flagged,
+            }
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ServedModel({self.name!r}, n={self.n}, noise={self.noise}, "
+            f"factored={self.factored})"
+        )
+
+
+class ModelRegistry:
+    """Thread-safe named-model store with TTL + LRU byte-budget eviction.
+
+    Parameters
+    ----------
+    policy:
+        Default :class:`~repro.api.policy.ExecutionPolicy` of registered
+        models (tracing spans, health probes, recovery, backend).
+    cache:
+        Optional :class:`~repro.persist.cache.ArtifactCache` consulted by
+        key- and construction-based registration.
+    max_models:
+        LRU cap on the number of resident models (``None`` = unbounded).
+    max_bytes:
+        LRU byte budget over operator + factorization bytes (``None`` =
+        unbounded).  The most recently used models survive.
+    ttl_seconds:
+        Idle time after which a model is evicted (checked on every access
+        and registration; ``None`` = no expiry).
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: Optional[ExecutionPolicy] = None,
+        cache=None,
+        max_models: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+    ):
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.cache = cache
+        self.max_models = None if max_models is None else int(max_models)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.ttl_seconds = None if ttl_seconds is None else float(ttl_seconds)
+        self.evictions = 0
+        self._models: Dict[str, ServedModel] = {}
+        self._mutex = threading.RLock()
+
+    # -------------------------------------------------------------- resolution
+    def register(
+        self,
+        name: str,
+        operator: Optional[HierarchicalOperator] = None,
+        *,
+        path=None,
+        key: Optional[str] = None,
+        points: Optional[np.ndarray] = None,
+        kernel: Optional[KernelFunction] = None,
+        tol: float = 1e-6,
+        noise: float = 0.0,
+        format: str = "hss",
+        seed=0,
+        policy: Optional[ExecutionPolicy] = None,
+        warm: bool = False,
+        **compress_kwargs: object,
+    ) -> ServedModel:
+        """Register a model under ``name`` and return its record.
+
+        Exactly one operator source must be provided: an ``operator``
+        instance, an artifact ``path``, a cache ``key`` (requires the
+        registry's :class:`~repro.persist.cache.ArtifactCache`), or
+        ``points`` + ``kernel`` (compressed through the cache when one is
+        configured).  ``warm=True`` builds the factorization (and caches the
+        log-determinant) eagerly so the first query does not pay it.
+        Re-registering a name replaces the old model (and releases its
+        ledger bytes).
+        """
+        policy = policy if policy is not None else self.policy
+        sources = sum(
+            source is not None for source in (operator, path, key, points)
+        )
+        if sources != 1:
+            raise ServeError(
+                "register() needs exactly one operator source: operator=, "
+                f"path=, key=, or points=+kernel= (got {sources})"
+            )
+        if path is not None:
+            from ..persist import load_operator
+
+            operator = load_operator(path)
+        elif key is not None:
+            if self.cache is None:
+                raise ServeError(
+                    "key-based registration requires a registry ArtifactCache"
+                )
+            operator = self.cache.get(key, tracer=policy.tracer)
+            if operator is None:
+                raise ModelNotFoundError(
+                    f"artifact cache has no entry for key {key!r}"
+                )
+        elif points is not None:
+            if kernel is None:
+                raise ServeError("points-based registration requires kernel=")
+            from ..api.facade import compress
+
+            operator = compress(
+                points, kernel, format=format, tol=tol, seed=seed,
+                policy=policy, cache=self.cache, **compress_kwargs,
+            )
+        assert operator is not None
+
+        model = ServedModel(
+            name, operator, noise=noise, kernel=kernel, tol=tol, policy=policy
+        )
+        if policy.health is not None and kernel is not None:
+            from ..observe.health import check_operator_health
+
+            model.health = check_operator_health(
+                operator, kernel, tol, thresholds=policy.health,
+                tracer=policy.tracer, source="loaded",
+            )
+        if warm:
+            model.slogdet()
+
+        with self._mutex:
+            previous = self._models.pop(name, None)
+            if previous is not None:
+                memory_ledger().release(f"serve.model:{name}")
+            self._models[name] = model
+            self._account(model)
+            self._sweep_locked()
+        metrics().counter("serve.models.registered").inc()
+        return model
+
+    # ------------------------------------------------------------------ access
+    def get(self, name: str) -> ServedModel:
+        """The model registered under ``name`` (refreshes its LRU/TTL clock)."""
+        with self._mutex:
+            self._sweep_locked()
+            model = self._models.get(name)
+            if model is None:
+                raise ModelNotFoundError(
+                    f"no model named {name!r} is registered "
+                    f"(available: {sorted(self._models)})"
+                )
+            model.touch()
+            return model
+
+    def __contains__(self, name: str) -> bool:
+        with self._mutex:
+            return name in self._models
+
+    def names(self) -> list:
+        with self._mutex:
+            return sorted(self._models)
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name`` (releases its ledger bytes); was it resident?"""
+        with self._mutex:
+            model = self._models.pop(name, None)
+            if model is None:
+                return False
+            self._drop_accounting(name)
+            self.evictions += 1
+            self._publish_locked()
+        metrics().counter("serve.models.evicted").inc()
+        return True
+
+    def clear(self) -> None:
+        with self._mutex:
+            for name in list(self._models):
+                self._models.pop(name)
+                self._drop_accounting(name)
+            self._publish_locked()
+
+    # ---------------------------------------------------------------- eviction
+    def _sweep_locked(self) -> None:
+        """TTL expiry, then LRU eviction down to the model/byte budgets."""
+        now = time.monotonic()
+        if self.ttl_seconds is not None:
+            expired = [
+                name
+                for name, model in self._models.items()
+                if now - model.last_used > self.ttl_seconds
+            ]
+            for name in expired:
+                self._models.pop(name)
+                self._drop_accounting(name)
+                self.evictions += 1
+                metrics().counter("serve.models.evicted").inc()
+
+        def lru_order():
+            return sorted(self._models, key=lambda n: self._models[n].last_used)
+
+        if self.max_models is not None:
+            for name in lru_order()[: max(0, len(self._models) - self.max_models)]:
+                self._models.pop(name)
+                self._drop_accounting(name)
+                self.evictions += 1
+                metrics().counter("serve.models.evicted").inc()
+        if self.max_bytes is not None:
+            total = sum(m.memory_bytes() for m in self._models.values())
+            for name in lru_order():
+                if total <= self.max_bytes or len(self._models) <= 1:
+                    break
+                total -= self._models[name].memory_bytes()
+                self._models.pop(name)
+                self._drop_accounting(name)
+                self.evictions += 1
+                metrics().counter("serve.models.evicted").inc()
+        self._publish_locked()
+
+    def _account(self, model: ServedModel) -> None:
+        memory_ledger().account(
+            f"serve.model:{model.name}", model.memory_categories()
+        )
+
+    def _drop_accounting(self, name: str) -> None:
+        memory_ledger().release(f"serve.model:{name}")
+
+    def _publish_locked(self) -> None:
+        registry = metrics()
+        registry.gauge("serve.models.loaded").set(len(self._models))
+        registry.gauge("serve.models.bytes").set(
+            sum(m.memory_bytes() for m in self._models.values())
+        )
+
+    def refresh_accounting(self, model: ServedModel) -> None:
+        """Re-account a model whose byte footprint changed (factorization)."""
+        with self._mutex:
+            if self._models.get(model.name) is model:
+                self._account(model)
+                self._publish_locked()
+
+    # --------------------------------------------------------------- reporting
+    def statistics(self) -> Dict[str, object]:
+        with self._mutex:
+            return {
+                "models": {
+                    name: model.statistics()
+                    for name, model in sorted(self._models.items())
+                },
+                "count": len(self._models),
+                "bytes": sum(m.memory_bytes() for m in self._models.values()),
+                "evictions": self.evictions,
+                "ttl_seconds": self.ttl_seconds,
+                "max_models": self.max_models,
+                "max_bytes": self.max_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ModelRegistry(models={self.names()}, evictions={self.evictions})"

@@ -1,0 +1,346 @@
+"""The asyncio inference service core: dispatch, telemetry, resilience.
+
+:class:`InferenceServer` is framework-free — the whole service is the typed
+``async`` API (:meth:`~InferenceServer.handle` plus one coroutine per
+endpoint), so tests and embedders drive it in-process without a socket; the
+thin HTTP adapter (:mod:`repro.serve.http`) is an optional layer on top.
+
+Every request runs under a ``serve.request`` tracer span and reports into the
+process metrics registry: ``serve.requests.<endpoint>`` /
+``serve.errors.<endpoint>`` counters and a ``serve.<endpoint>.latency_ms``
+percentile histogram (p50/p95/p99 — scraped for free by the OpenMetrics
+``metrics`` endpoint).  Expensive linear algebra micro-batches through the
+:class:`~repro.serve.batching.MicroBatcher`; ``method="cg"`` solves inherit
+the policy's :class:`~repro.resilience.RecoveryPolicy` on non-convergence
+(strict → raise, warn → flagged result, recover → escalation ladder).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..api.policy import ExecutionPolicy
+from ..observe.metrics import metrics
+from ..observe.openmetrics import render_openmetrics
+from .api import (
+    HealthRequest,
+    HealthResponse,
+    LogdetRequest,
+    LogdetResponse,
+    MatvecRequest,
+    MatvecResponse,
+    MetricsRequest,
+    MetricsResponse,
+    PredictRequest,
+    PredictResponse,
+    RequestValidationError,
+    ServeRequest,
+    ServeResponse,
+    SolveRequest,
+    SolveResponse,
+)
+from .batching import MicroBatcher
+from .registry import ModelRegistry, ServedModel
+
+__all__ = ["InferenceServer"]
+
+
+class InferenceServer:
+    """Multi-tenant async GP/solve inference service.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry` to serve (default: a
+        fresh registry under ``policy``).
+    policy:
+        :class:`~repro.api.policy.ExecutionPolicy` of the service — tracer
+        spans, health thresholds, recovery policy and backend selection all
+        ride on it (defaults to the registry's policy).
+    batching, max_batch, max_wait_ms:
+        Micro-batching knobs (see :class:`~repro.serve.batching.MicroBatcher`);
+        ``batching=False`` serves every request individually.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        *,
+        policy: Optional[ExecutionPolicy] = None,
+        batching: bool = True,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ):
+        if registry is None:
+            registry = ModelRegistry(policy=policy)
+        self.registry = registry
+        self.policy = policy if policy is not None else registry.policy
+        self.batcher = MicroBatcher(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            enabled=batching,
+            tracer=self.policy.tracer,
+        )
+        self.started_at = time.monotonic()
+        self._dispatch = {
+            MatvecRequest: self.matvec,
+            SolveRequest: self.solve,
+            PredictRequest: self.predict,
+            LogdetRequest: self.logdet,
+            HealthRequest: self.health,
+            MetricsRequest: self.metrics,
+        }
+
+    # ---------------------------------------------------------------- registry
+    def register(self, name: str, *args, **kwargs) -> ServedModel:
+        """Register a model (see :meth:`ModelRegistry.register`)."""
+        return self.registry.register(name, *args, **kwargs)
+
+    # ---------------------------------------------------------------- dispatch
+    async def handle(self, request: ServeRequest) -> ServeResponse:
+        """Dispatch a typed request to its endpoint coroutine."""
+        handler = self._dispatch.get(type(request))
+        if handler is None:
+            raise RequestValidationError(
+                f"unhandled request type {type(request).__name__}"
+            )
+        return await handler(request)
+
+    def _start(self, request: ServeRequest):
+        registry = metrics()
+        registry.counter("serve.requests").inc()
+        registry.counter(f"serve.requests.{request.endpoint}").inc()
+        return time.perf_counter()
+
+    def _finish(
+        self, request: ServeRequest, response: ServeResponse, start: float
+    ) -> ServeResponse:
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        response.model = request.model
+        response.request_id = request.request_id
+        response.latency_ms = elapsed_ms
+        metrics().histogram(f"serve.{request.endpoint}.latency_ms").observe(
+            elapsed_ms
+        )
+        return response
+
+    def _fail(self, request: ServeRequest, exc: Exception) -> Exception:
+        registry = metrics()
+        registry.counter("serve.errors").inc()
+        registry.counter(f"serve.errors.{request.endpoint}").inc()
+        return exc
+
+    async def _serve(self, request: ServeRequest, body) -> ServeResponse:
+        """Span + metrics + error accounting around one endpoint body."""
+        start = self._start(request)
+        with self.policy.tracer.span(
+            "serve.request", category="serve",
+            endpoint=request.endpoint, model=request.model,
+            request_id=request.request_id,
+        ):
+            try:
+                response = await body()
+            except Exception as exc:
+                self._fail(request, exc)
+                raise
+        return self._finish(request, response, start)
+
+    # --------------------------------------------------------------- endpoints
+    async def matvec(self, request: MatvecRequest) -> MatvecResponse:
+        """``y = K x``, micro-batched into one ``matmat`` launch."""
+
+        async def body() -> MatvecResponse:
+            model = self.registry.get(request.model)
+            y, batch_size = await self.batcher.submit(model, "matvec", request.x)
+            return MatvecResponse(
+                y=y, batched=batch_size > 1, batch_size=batch_size
+            )
+
+        return await self._serve(request, body)
+
+    async def predict(self, request: PredictRequest) -> PredictResponse:
+        """Posterior mean ``K (K + noise I)^{-1} y`` at the training inputs."""
+
+        async def body() -> PredictResponse:
+            model = self.registry.get(request.model)
+            mean, batch_size = await self.batcher.submit(
+                model, "predict", request.y
+            )
+            self.registry.refresh_accounting(model)  # lazy factorization bytes
+            return PredictResponse(
+                mean=mean, batched=batch_size > 1, batch_size=batch_size
+            )
+
+        return await self._serve(request, body)
+
+    async def solve(self, request: SolveRequest) -> SolveResponse:
+        """``(K + noise I) x = b`` — direct (batched) or CG (guarded)."""
+
+        async def body() -> SolveResponse:
+            model = self.registry.get(request.model)
+            if request.method == "direct":
+                x, batch_size = await self.batcher.submit(model, "solve", request.b)
+                self.registry.refresh_accounting(model)
+                return SolveResponse(
+                    x=x, method="direct", converged=True,
+                    batched=batch_size > 1, batch_size=batch_size,
+                )
+            if request.method != "cg":
+                raise RequestValidationError(
+                    f"solve method must be 'direct' or 'cg', not "
+                    f"{request.method!r}"
+                )
+            result = await self._solve_cg(model, request)
+            self.registry.refresh_accounting(model)
+            return SolveResponse(
+                x=result.x, method=result.method, converged=result.converged,
+                iterations=result.iterations,
+                final_residual=result.final_residual,
+            )
+
+        return await self._serve(request, body)
+
+    async def _solve_cg(self, model: ServedModel, request: SolveRequest):
+        """Factorization-preconditioned CG with the policy's recovery ladder."""
+        b = np.asarray(request.b, dtype=np.float64)
+        if b.ndim != 1 or b.shape[0] != model.n:
+            raise RequestValidationError(
+                f"cg solves take a single RHS vector of length {model.n}, "
+                f"got shape {b.shape}"
+            )
+        if not np.isfinite(b).all():
+            raise RequestValidationError(
+                "payload contains non-finite values (NaN/Inf)"
+            )
+
+        def run():
+            from ..hmatrix.linear_operator import as_linear_operator
+            from ..solvers import krylov
+
+            with model.lock:
+                factorization = model.factorization()
+                operator = as_linear_operator(model.operator, shift=model.noise)
+                maxiter = request.maxiter
+                if self.policy.faults is not None:
+                    maxiter = self.policy.faults.stall_maxiter(maxiter)
+                return krylov.cg(
+                    operator, b, tol=request.tol, maxiter=maxiter,
+                    M=factorization, tracer=self.policy.tracer,
+                    health=self.policy.health,
+                )
+
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(self.batcher._executor, run)
+        if result.converged or self.policy.recovery is None:
+            return result
+        return await loop.run_in_executor(
+            self.batcher._executor,
+            lambda: self._recover_solve(model, request, result),
+        )
+
+    def _recover_solve(self, model: ServedModel, request: SolveRequest, result):
+        """Map the recovery policy onto a non-converged CG solve."""
+        from ..resilience.errors import SolveDidNotConvergeError
+        from ..resilience.policy import resilience_adapter
+        from ..solvers.ladder import escalation_ladder
+
+        recovery = self.policy.recovery
+        if recovery.mode == "strict":
+            raise SolveDidNotConvergeError(
+                f"{result.method} did not converge in {result.iterations} "
+                f"iterations (final residual {result.final_residual:.3e} > "
+                f"tol {request.tol:.3e})",
+                result=result,
+            )
+        if recovery.mode == "warn":
+            resilience_adapter().warn(
+                "solve-not-converged", method=result.method,
+                iterations=result.iterations,
+                final_residual=result.final_residual, tol=request.tol,
+                model=model.name,
+            )
+            return result
+        # recover: escalate through the rungs the preconditioned CG skipped.
+        rungs = tuple(r for r in recovery.ladder if r not in ("cg", "pcg"))
+        with model.lock:
+            escalated = escalation_ladder(
+                model.operator, np.asarray(request.b, dtype=np.float64),
+                tol=request.tol, shift=model.noise,
+                factorization=model.factorization(), recovery=recovery,
+                rungs=rungs, x0=result.x, tracer=self.policy.tracer,
+                health=self.policy.health,
+            )
+        escalated.extra["escalated_from"] = result.method
+        return escalated
+
+    async def logdet(self, request: LogdetRequest) -> LogdetResponse:
+        """Cached ``log|det(K + noise I)|`` of the model."""
+
+        async def body() -> LogdetResponse:
+            model = self.registry.get(request.model)
+            loop = asyncio.get_running_loop()
+
+            def run():
+                with model.lock:
+                    return model.slogdet()
+
+            sign, logabs = await loop.run_in_executor(
+                self.batcher._executor, run
+            )
+            self.registry.refresh_accounting(model)
+            return LogdetResponse(logdet=logabs, sign=sign)
+
+        return await self._serve(request, body)
+
+    async def health(self, request: Optional[HealthRequest] = None) -> HealthResponse:
+        """Service liveness plus per-model statistics/health reports."""
+        request = request if request is not None else HealthRequest()
+
+        async def body() -> HealthResponse:
+            stats = self.registry.statistics()
+            models: Dict[str, dict] = stats["models"]  # type: ignore[assignment]
+            if request.model:
+                if request.model not in models:
+                    from .api import ModelNotFoundError
+
+                    raise ModelNotFoundError(
+                        f"no model named {request.model!r} is registered"
+                    )
+                models = {request.model: models[request.model]}
+            flagged = any(
+                model.get("health", {}).get("flagged", False)
+                for model in models.values()
+            )
+            return HealthResponse(
+                status="degraded" if flagged else "ok",
+                uptime_seconds=time.monotonic() - self.started_at,
+                models=models,
+            )
+
+        return await self._serve(request, body)
+
+    async def metrics(self, request: Optional[MetricsRequest] = None) -> MetricsResponse:
+        """The OpenMetrics exposition of the process metrics registry."""
+        request = request if request is not None else MetricsRequest()
+
+        async def body() -> MetricsResponse:
+            return MetricsResponse(text=render_openmetrics())
+
+        return await self._serve(request, body)
+
+    # --------------------------------------------------------------- lifecycle
+    async def aclose(self) -> None:
+        """Flush pending batches and shut the worker pool down."""
+        await self.batcher.drain()
+        self.batcher.close()
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "batching": self.batcher.statistics(),
+            "registry": self.registry.statistics(),
+        }

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 
 import numpy as np
@@ -544,3 +545,78 @@ class TestTracingOverhead:
             f"disabled-tracing overhead {guarded / baseline:.4f}x "
             f"exceeds bound {bound}x"
         )
+
+
+# -------------------------------------------------------------- thread safety
+class TestMetricsThreadSafety:
+    """The serving layer mutates instruments from worker threads; hammer the
+    registry concurrently and check the totals are exact."""
+
+    WORKERS = 8
+    OPS = 2000
+
+    def test_concurrent_instrument_hammer(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.WORKERS)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait()
+                for i in range(self.OPS):
+                    registry.counter("hammer.count").inc()
+                    registry.gauge("hammer.gauge").add(1.0)
+                    hist = registry.histogram("hammer.lat", capacity=64)
+                    hist.observe(float(i))
+                    if i % 128 == 0:
+                        # concurrent reads must never see torn state
+                        hist.percentile(95.0)
+                        registry.snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        total = self.WORKERS * self.OPS
+        assert registry.counter("hammer.count").value == total
+        assert registry.gauge("hammer.gauge").value == float(total)
+        hist = registry.histogram("hammer.lat")
+        assert hist.count == total
+        assert hist.sum == pytest.approx(self.WORKERS * sum(range(self.OPS)))
+        assert len(hist._samples) == 64  # reservoir never overfills
+        assert np.isfinite(hist.p99)
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.WORKERS)
+        seen = []
+
+        def worker():
+            barrier.wait()
+            seen.append(
+                (
+                    registry.counter("only.one"),
+                    registry.gauge("only.one"),
+                    registry.histogram("only.one"),
+                )
+            )
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        counters, gauges, histograms = zip(*seen)
+        assert len({id(c) for c in counters}) == 1
+        assert len({id(g) for g in gauges}) == 1
+        assert len({id(h) for h in histograms}) == 1

@@ -17,6 +17,7 @@ Covers the tentpole of the persistence PR:
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 import numpy as np
@@ -673,3 +674,90 @@ class TestIntegrityHardening:
         (tmp_path / ".repro-cache.lock").write_text("99999")
         with pytest.raises(ArtifactLockError):
             cache.put("k", op)
+
+
+# -------------------------------------------------------------- thread safety
+class TestArtifactCacheThreadSafety:
+    """The serving registry resolves models through one shared cache from
+    concurrent requests; hammer in-process get/put and check the LRU
+    bookkeeping stays exact (cross-process safety is the directory lock's
+    job, exercised elsewhere)."""
+
+    WORKERS = 4
+    ITERS = 3
+
+    @pytest.fixture(scope="class")
+    def hammer_operator(self, persist_points, persist_kernel):
+        return compress(
+            persist_points, persist_kernel, tol=1e-6, leaf_size=LEAF, seed=2
+        )
+
+    def test_concurrent_get_put(self, hammer_operator, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        keys = [f"hammer-{w}" for w in range(self.WORKERS)]
+        barrier = threading.Barrier(self.WORKERS)
+        errors = []
+
+        def worker(wid):
+            try:
+                cache.put(keys[wid], hammer_operator)
+                barrier.wait()  # every key resident before the gets start
+                for _ in range(self.ITERS):
+                    # re-put races against the other workers' gets: the
+                    # atomic-rename overwrite must always leave a loadable
+                    # entry, and every hit/miss must be counted exactly once
+                    cache.put(keys[wid], hammer_operator)
+                    for key in keys:
+                        loaded = cache.get(key)
+                        assert loaded is not None
+                        assert loaded.shape == hammer_operator.shape
+                    assert cache.get(f"missing-{wid}") is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,))
+            for w in range(self.WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert cache.hits == self.WORKERS * self.ITERS * len(keys)
+        assert cache.misses == self.WORKERS * self.ITERS
+        stats = cache.statistics()
+        assert stats["hits"] == cache.hits
+        assert stats["entries"] == len(keys)
+
+    def test_concurrent_eviction_budget(self, hammer_operator, tmp_path):
+        entry_bytes = os.path.getsize(
+            ArtifactCache(tmp_path / "probe").put("probe", hammer_operator)
+        )
+        cache = ArtifactCache(tmp_path / "evict",
+                              max_bytes=int(entry_bytes * 2.5))
+        errors = []
+
+        def worker(wid):
+            try:
+                for i in range(self.ITERS):
+                    cache.put(f"evict-{wid}-{i}", hammer_operator)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,))
+            for w in range(self.WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        stats = cache.statistics()
+        # budget enforced under concurrency: at most 2 entries survive
+        assert stats["entries"] <= 2
+        assert stats["bytes"] <= entry_bytes * 2.5
+        assert stats["evictions"] >= self.WORKERS * self.ITERS - 2

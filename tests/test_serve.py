@@ -1,0 +1,717 @@
+"""Tests for ``repro.serve``: registry, micro-batcher, server, HTTP adapter.
+
+The numerical heart of the serving layer is the claim that a coalesced
+micro-batch launch returns *exactly* the answer each caller would have
+gotten alone — the property tests below drive random interleavings of
+concurrent mixed-shape requests against unbatched references, including a
+poisoned batchmate that must fail in isolation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ExecutionPolicy, ExponentialKernel, uniform_cube_points
+from repro.observe import SpanTracer, metrics
+from repro.serve import (
+    HealthRequest,
+    InferenceServer,
+    LogdetRequest,
+    MatvecRequest,
+    MetricsRequest,
+    MicroBatcher,
+    ModelNotFoundError,
+    ModelRegistry,
+    PredictRequest,
+    RequestValidationError,
+    ServeError,
+    SolveRequest,
+    request_from_wire,
+    response_to_wire,
+    serve_http,
+)
+
+N = 192
+NOISE = 1e-2
+TOL = 1e-9
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def serve_points():
+    return uniform_cube_points(N, dim=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def serve_kernel():
+    return ExponentialKernel(0.3)
+
+
+@pytest.fixture(scope="module")
+def serve_operator(serve_points, serve_kernel):
+    return repro.compress(
+        serve_points, serve_kernel, format="hss", tol=TOL, leaf_size=32, seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_matrix(serve_points, serve_kernel):
+    return serve_kernel.evaluate(serve_points, serve_points)
+
+
+def make_server(serve_operator, **server_kwargs) -> InferenceServer:
+    server = InferenceServer(**server_kwargs)
+    server.registry.register("m", serve_operator, noise=NOISE)
+    return server
+
+
+# --------------------------------------------------------------------- registry
+class TestModelRegistry:
+    def test_register_and_get(self, serve_operator):
+        registry = ModelRegistry()
+        model = registry.register("a", serve_operator, noise=NOISE)
+        assert "a" in registry
+        assert registry.get("a") is model
+        assert registry.get("a").requests == 2
+        assert registry.names() == ["a"]
+
+    def test_get_unknown_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelNotFoundError):
+            registry.get("nope")
+
+    def test_exactly_one_source_required(self, serve_operator, serve_points,
+                                         serve_kernel):
+        registry = ModelRegistry()
+        with pytest.raises(ServeError):
+            registry.register("a")
+        with pytest.raises(ServeError):
+            registry.register(
+                "a", serve_operator, points=serve_points, kernel=serve_kernel
+            )
+
+    def test_register_from_artifact_path(self, serve_operator, tmp_path):
+        path = tmp_path / "m.repro"
+        repro.save_operator(serve_operator, path)
+        registry = ModelRegistry()
+        model = registry.register("a", path=path, noise=NOISE)
+        x = np.ones(N)
+        np.testing.assert_allclose(
+            model.operator.matvec(x), serve_operator.matvec(x), atol=1e-12
+        )
+
+    def test_register_from_cache_key(self, serve_operator, tmp_path,
+                                     serve_points, serve_kernel):
+        cache = repro.ArtifactCache(tmp_path)
+        key = cache.key(serve_points, serve_kernel, tol=TOL, format="hss",
+                        leaf_size=32, seed=5)
+        cache.put(key, serve_operator)
+        registry = ModelRegistry(cache=cache)
+        model = registry.register("a", key=key)
+        assert model.n == N
+        with pytest.raises(ModelNotFoundError):
+            registry.register("b", key="0" * 64)
+        with pytest.raises(ServeError):
+            ModelRegistry().register("c", key=key)  # no cache configured
+
+    def test_register_from_points_uses_cache(self, serve_points, serve_kernel,
+                                             tmp_path):
+        cache = repro.ArtifactCache(tmp_path)
+        registry = ModelRegistry(cache=cache)
+        registry.register("a", points=serve_points, kernel=serve_kernel,
+                          tol=TOL, leaf_size=32, seed=5)
+        assert cache.misses == 1
+        registry.register("b", points=serve_points, kernel=serve_kernel,
+                          tol=TOL, leaf_size=32, seed=5)
+        assert cache.hits == 1
+
+    def test_ttl_eviction(self, serve_operator):
+        registry = ModelRegistry(ttl_seconds=60.0)
+        model = registry.register("a", serve_operator)
+        model.last_used -= 120.0  # idle past the TTL
+        with pytest.raises(ModelNotFoundError):
+            registry.get("a")
+        assert registry.evictions == 1
+        assert metrics().counter("serve.models.evicted").value == 1
+
+    def test_lru_max_models_eviction(self, serve_operator):
+        registry = ModelRegistry(max_models=2)
+        registry.register("a", serve_operator)
+        registry.register("b", serve_operator)
+        registry.get("a")  # refresh: "b" becomes the LRU entry
+        registry.register("c", serve_operator)
+        assert registry.names() == ["a", "c"]
+
+    def test_byte_budget_eviction_keeps_most_recent(self, serve_operator):
+        per_model = serve_operator.memory_bytes()["total"]
+        registry = ModelRegistry(max_bytes=int(per_model * 1.5))
+        registry.register("a", serve_operator)
+        registry.register("b", serve_operator)
+        # Over budget: the LRU entry goes, but never the last survivor.
+        assert registry.names() == ["b"]
+
+    def test_memory_ledger_accounting(self, serve_operator):
+        from repro.observe import memory_ledger
+
+        registry = ModelRegistry()
+        registry.register("a", serve_operator)
+        owners = memory_ledger().by_owner()
+        assert "serve.model:a" in owners
+        assert metrics().gauge("serve.models.loaded").value == 1
+        registry.evict("a")
+        assert "serve.model:a" not in memory_ledger().by_owner()
+        assert metrics().gauge("serve.models.loaded").value == 0
+
+    def test_lazy_factorization_and_logdet(self, serve_operator, dense_matrix):
+        registry = ModelRegistry()
+        model = registry.register("a", serve_operator, noise=NOISE)
+        assert not model.factored
+        sign, logabs = model.slogdet()
+        assert model.factored
+        ref_sign, ref_logabs = np.linalg.slogdet(
+            dense_matrix + NOISE * np.eye(N)
+        )
+        assert sign == ref_sign
+        assert logabs == pytest.approx(ref_logabs, rel=1e-5)
+        # the factorization bytes join the model's footprint
+        assert model.memory_bytes() > serve_operator.memory_bytes()["total"]
+
+    def test_health_probe_on_load(self, serve_points, serve_kernel):
+        from repro import HealthThresholds
+
+        policy = ExecutionPolicy(health=HealthThresholds())
+        registry = ModelRegistry(policy=policy)
+        model = registry.register(
+            "a", points=serve_points, kernel=serve_kernel, tol=TOL,
+            leaf_size=32, seed=5,
+        )
+        assert model.health is not None
+        assert model.health.source == "loaded"
+        assert not model.health.flagged
+        stats = registry.statistics()
+        assert "health" in stats["models"]["a"]
+
+
+# ------------------------------------------------------------------ micro-batch
+class TestMicroBatcher:
+    def test_coalesces_concurrent_requests_into_one_launch(self, serve_operator):
+        registry = ModelRegistry()
+        model = registry.register("m", serve_operator, noise=NOISE)
+        batcher = MicroBatcher(max_batch=64, max_wait_ms=20.0)
+        rng = np.random.default_rng(0)
+        payloads = [rng.standard_normal(N) for _ in range(12)]
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(model, "matvec", p) for p in payloads]
+            )
+
+        results = run(main())
+        assert batcher.launches == 1
+        for (y, batch_size), p in zip(results, payloads):
+            assert batch_size == 12
+            np.testing.assert_allclose(
+                y, serve_operator.matvec(p), atol=1e-11
+            )
+        summary = metrics().histogram("serve.batch.requests").summary()
+        assert summary["count"] == 1 and summary["max"] == 12
+        batcher.close()
+
+    def test_max_batch_flushes_without_waiting(self, serve_operator):
+        registry = ModelRegistry()
+        model = registry.register("m", serve_operator, noise=NOISE)
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=10_000.0)
+        rng = np.random.default_rng(1)
+
+        async def main():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    *[batcher.submit(model, "matvec", rng.standard_normal(N))
+                      for _ in range(8)]
+                ),
+                timeout=5.0,
+            )
+
+        results = run(main())
+        assert len(results) == 8
+        assert batcher.launches == 2  # two full windows, no timer needed
+        batcher.close()
+
+    def test_disabled_batching_runs_requests_alone(self, serve_operator):
+        registry = ModelRegistry()
+        model = registry.register("m", serve_operator, noise=NOISE)
+        batcher = MicroBatcher(enabled=False)
+        rng = np.random.default_rng(2)
+        payloads = [rng.standard_normal(N) for _ in range(6)]
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(model, "solve", p) for p in payloads]
+            )
+
+        results = run(main())
+        assert batcher.launches == 6
+        for (x, batch_size), p in zip(results, payloads):
+            assert batch_size == 1
+            np.testing.assert_allclose(
+                x, model.factorization().solve(p), atol=1e-10
+            )
+        batcher.close()
+
+    def test_shape_validation_fails_fast(self, serve_operator):
+        registry = ModelRegistry()
+        model = registry.register("m", serve_operator)
+        batcher = MicroBatcher()
+
+        async def main():
+            with pytest.raises(RequestValidationError):
+                await batcher.submit(model, "matvec", np.ones(N + 1))
+            with pytest.raises(RequestValidationError):
+                await batcher.submit(model, "matvec", np.ones(N) + 1j)
+            with pytest.raises(RequestValidationError):
+                await batcher.submit(model, "matvec", np.ones((N, 0)))
+
+        run(main())
+        batcher.close()
+
+    @pytest.mark.parametrize("kind", ["matvec", "solve", "predict"])
+    def test_interleaving_property_each_caller_gets_its_own_columns(
+        self, serve_operator, kind
+    ):
+        """Any interleaving of k mixed-shape requests returns each caller its
+        own column(s), bit-for-bit consistent with its position in the batch.
+        """
+        registry = ModelRegistry()
+        model = registry.register("m", serve_operator, noise=NOISE)
+        model.factorization()  # build once outside the timed windows
+        rng = np.random.default_rng(42)
+
+        def reference(payload):
+            if kind == "matvec":
+                return model.operator.matmat(np.atleast_2d(payload.T).T)
+            solved = model.factorization().solve(
+                payload if payload.ndim == 2 else payload[:, None]
+            )
+            if kind == "predict":
+                return model.operator.matmat(solved)
+            return solved
+
+        for round_index in range(3):
+            k = int(rng.integers(5, 14))
+            payloads = []
+            for _ in range(k):
+                width = int(rng.integers(0, 3))  # 0 → vector, else (N, width)
+                if width == 0:
+                    payloads.append(rng.standard_normal(N))
+                else:
+                    payloads.append(rng.standard_normal((N, width)))
+            delays = rng.uniform(0.0, 0.004, size=k)
+            batcher = MicroBatcher(max_batch=64, max_wait_ms=8.0)
+
+            async def client(payload, delay):
+                await asyncio.sleep(delay)
+                return await batcher.submit(model, kind, payload)
+
+            async def main():
+                return await asyncio.gather(
+                    *[client(p, d) for p, d in zip(payloads, delays)]
+                )
+
+            results = run(main())
+            for (value, _batch_size), payload in zip(results, payloads):
+                expected = reference(payload)
+                if payload.ndim == 1:
+                    expected = expected[:, 0]
+                assert value.shape == payload.shape
+                np.testing.assert_allclose(value, expected, atol=1e-9)
+            batcher.close()
+
+    def test_error_isolation_nonfinite_member_fails_alone(self, serve_operator):
+        registry = ModelRegistry()
+        model = registry.register("m", serve_operator, noise=NOISE)
+        batcher = MicroBatcher(max_batch=64, max_wait_ms=20.0)
+        rng = np.random.default_rng(7)
+        good = [rng.standard_normal(N) for _ in range(5)]
+        poisoned = rng.standard_normal(N)
+        poisoned[3] = np.nan
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(model, "solve", p) for p in good],
+                batcher.submit(model, "solve", poisoned),
+                return_exceptions=True,
+            )
+
+        results = run(main())
+        *good_results, bad = results
+        assert isinstance(bad, RequestValidationError)
+        for (x, batch_size), p in zip(good_results, good):
+            assert batch_size == 5  # the poisoned member never joined
+            np.testing.assert_allclose(
+                x, model.factorization().solve(p), atol=1e-10
+            )
+        batcher.close()
+
+    def test_error_isolation_failing_launch_retries_individually(
+        self, serve_operator, monkeypatch
+    ):
+        """A launch-level failure falls back to per-request execution, so the
+        batchmates of a poisoned request still get their answers."""
+        registry = ModelRegistry()
+        model = registry.register("m", serve_operator, noise=NOISE)
+        batcher = MicroBatcher(max_batch=64, max_wait_ms=20.0)
+        rng = np.random.default_rng(8)
+        payloads = [rng.standard_normal(N) for _ in range(4)]
+        real_matmat = type(serve_operator).matmat
+
+        def flaky_matmat(self, block, *args, **kwargs):
+            if block.ndim == 2 and block.shape[1] > 1:
+                raise RuntimeError("injected batch-level fault")
+            return real_matmat(self, block, *args, **kwargs)
+
+        monkeypatch.setattr(type(serve_operator), "matmat", flaky_matmat)
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(model, "matvec", p) for p in payloads]
+            )
+
+        results = run(main())
+        assert metrics().counter("serve.batch.fallbacks").value == 1
+        monkeypatch.undo()
+        for (y, batch_size), p in zip(results, payloads):
+            assert batch_size == 1  # answered by the individual retry
+            np.testing.assert_allclose(y, serve_operator.matvec(p), atol=1e-11)
+        batcher.close()
+
+
+# --------------------------------------------------------------------- server
+class TestInferenceServer:
+    def test_solve_direct_matches_factorization(self, serve_operator):
+        server = make_server(serve_operator)
+        b = np.linspace(-1.0, 1.0, N)
+        response = run(server.handle(SolveRequest(model="m", b=b)))
+        model = server.registry.get("m")
+        np.testing.assert_allclose(
+            response.x, model.factorization().solve(b), atol=1e-12
+        )
+        assert response.converged and response.method == "direct"
+        assert response.latency_ms > 0.0
+        assert response.model == "m" and response.request_id
+        run(server.aclose())
+
+    def test_solve_cg_matches_direct(self, serve_operator):
+        server = make_server(serve_operator)
+        b = np.sin(np.arange(N) / 7.0)
+        direct = run(server.handle(SolveRequest(model="m", b=b)))
+        cg = run(server.handle(SolveRequest(model="m", b=b, method="cg",
+                                            tol=1e-12)))
+        assert cg.converged and cg.iterations >= 1
+        np.testing.assert_allclose(cg.x, direct.x, atol=1e-8)
+        run(server.aclose())
+
+    def test_predict_is_posterior_mean(self, serve_operator, dense_matrix):
+        server = make_server(serve_operator)
+        y = np.cos(np.arange(N) / 5.0)
+        response = run(server.handle(PredictRequest(model="m", y=y)))
+        expected = dense_matrix @ np.linalg.solve(
+            dense_matrix + NOISE * np.eye(N), y
+        )
+        np.testing.assert_allclose(response.mean, expected, atol=1e-5)
+        run(server.aclose())
+
+    def test_logdet_matches_numpy(self, serve_operator, dense_matrix):
+        server = make_server(serve_operator)
+        response = run(server.handle(LogdetRequest(model="m")))
+        _, ref = np.linalg.slogdet(dense_matrix + NOISE * np.eye(N))
+        assert response.sign == 1.0
+        assert response.logdet == pytest.approx(ref, rel=1e-5)
+        run(server.aclose())
+
+    def test_unknown_model_counts_an_error(self, serve_operator):
+        server = make_server(serve_operator)
+
+        async def main():
+            with pytest.raises(ModelNotFoundError):
+                await server.handle(SolveRequest(model="ghost", b=np.ones(N)))
+
+        run(main())
+        assert metrics().counter("serve.errors").value == 1
+        assert metrics().counter("serve.errors.solve").value == 1
+        run(server.aclose())
+
+    def test_concurrent_solves_batch_and_match_unbatched(self, serve_operator):
+        batched = make_server(serve_operator, max_batch=64, max_wait_ms=10.0)
+        unbatched = make_server(serve_operator, batching=False)
+        rng = np.random.default_rng(3)
+        payloads = [rng.standard_normal(N) for _ in range(16)]
+
+        async def fire(server):
+            return await asyncio.gather(
+                *[server.handle(SolveRequest(model="m", b=b)) for b in payloads]
+            )
+
+        batched_responses = run(fire(batched))
+        unbatched_responses = run(fire(unbatched))
+        assert any(r.batched for r in batched_responses)
+        assert max(r.batch_size for r in batched_responses) > 1
+        assert all(r.batch_size == 1 for r in unbatched_responses)
+        for rb, ru in zip(batched_responses, unbatched_responses):
+            np.testing.assert_allclose(rb.x, ru.x, atol=1e-9)
+        run(batched.aclose())
+        run(unbatched.aclose())
+
+    def test_health_endpoint(self, serve_operator):
+        server = make_server(serve_operator)
+        response = run(server.health())
+        assert response.status == "ok"
+        assert response.uptime_seconds >= 0.0
+        assert "m" in response.models
+        assert response.models["m"]["n"] == N
+
+        async def missing():
+            with pytest.raises(ModelNotFoundError):
+                await server.health(HealthRequest(model="ghost"))
+
+        run(missing())
+        run(server.aclose())
+
+    def test_metrics_endpoint_scrapes_serving_telemetry(self, serve_operator):
+        server = make_server(serve_operator)
+
+        async def main():
+            await server.handle(SolveRequest(model="m", b=np.ones(N)))
+            return await server.metrics()
+
+        response = run(main())
+        text = response.text
+        assert text.rstrip().endswith("# EOF")
+        assert "repro_serve_solve_latency_ms" in text
+        assert 'quantile="0.99"' in text
+        assert "repro_serve_requests_total" in text
+        assert "openmetrics" in response.content_type
+        run(server.aclose())
+
+    def test_request_spans_are_recorded(self, serve_operator):
+        tracer = SpanTracer()
+        policy = ExecutionPolicy(tracer=tracer)
+        server = InferenceServer(policy=policy, max_wait_ms=5.0)
+        server.registry.register("m", serve_operator, noise=NOISE,
+                                 policy=policy)
+
+        async def main():
+            await asyncio.gather(
+                *[server.handle(SolveRequest(model="m",
+                                             b=np.full(N, float(i + 1))))
+                  for i in range(4)]
+            )
+
+        run(main())
+        names = set()
+
+        def walk(span):
+            names.add(span.name)
+            for child in span.children:
+                walk(child)
+
+        for root in tracer.roots:
+            walk(root)
+        assert "serve.request" in names
+        assert "serve.batch" in names
+        run(server.aclose())
+
+    def test_strict_recovery_raises_on_unconverged_cg(self, serve_operator):
+        from repro import SolveDidNotConvergeError
+
+        server = make_server(
+            serve_operator, policy=ExecutionPolicy(recovery="strict")
+        )
+
+        async def main():
+            with pytest.raises(SolveDidNotConvergeError):
+                await server.handle(SolveRequest(
+                    model="m", b=np.ones(N), method="cg", tol=1e-14, maxiter=0,
+                ))
+
+        run(main())
+        run(server.aclose())
+
+    def test_recover_mode_escalates_unconverged_cg(self, serve_operator):
+        server = make_server(
+            serve_operator, policy=ExecutionPolicy(recovery="recover")
+        )
+        b = np.ones(N)
+        response = run(server.handle(SolveRequest(
+            model="m", b=b, method="cg", tol=1e-10, maxiter=0,
+        )))
+        assert response.converged
+        model = server.registry.get("m")
+        np.testing.assert_allclose(
+            response.x, model.factorization().solve(b), atol=1e-8
+        )
+        run(server.aclose())
+
+    def test_statistics(self, serve_operator):
+        server = make_server(serve_operator)
+        run(server.handle(MatvecRequest(model="m", x=np.ones(N))))
+        stats = server.statistics()
+        assert stats["batching"]["launches"] == 1
+        assert stats["registry"]["count"] == 1
+        run(server.aclose())
+
+
+# ------------------------------------------------------------------ wire codec
+class TestWireCodec:
+    def test_round_trip_solve(self):
+        request = request_from_wire(
+            "solve", {"model": "m", "b": [1.0, 2.0], "method": "cg",
+                      "tol": 1e-8, "request_id": "abc"}
+        )
+        assert request.model == "m" and request.method == "cg"
+        assert request.tol == 1e-8 and request.request_id == "abc"
+        np.testing.assert_array_equal(request.b, [1.0, 2.0])
+
+    def test_validation_errors(self):
+        with pytest.raises(RequestValidationError):
+            request_from_wire("nope", {})
+        with pytest.raises(RequestValidationError):
+            request_from_wire("solve", {"model": "m"})  # missing b
+        with pytest.raises(RequestValidationError):
+            request_from_wire("solve", {"model": "m", "b": "strings"})
+        with pytest.raises(RequestValidationError):
+            request_from_wire("solve", {"model": "m", "b": [1.0],
+                                        "method": "magic"})
+        with pytest.raises(RequestValidationError):
+            request_from_wire("matvec", {"model": 3, "x": [1.0]})
+
+    def test_response_to_wire_serializes_arrays(self):
+        from repro.serve import SolveResponse
+
+        wire = response_to_wire(SolveResponse(
+            model="m", request_id="r", x=np.array([1.0, 2.0]), iterations=3,
+        ))
+        assert wire["x"] == [1.0, 2.0]
+        assert wire["iterations"] == 3
+        assert wire["endpoint"] == "solve"
+
+
+# ----------------------------------------------------------------------- http
+class TestHttpAdapter:
+    @staticmethod
+    async def _request(port, method, path, payload=None):
+        import json
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        body = json.dumps(payload).encode() if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        header, _, content = raw.partition(b"\r\n\r\n")
+        status = int(header.split(None, 2)[1])
+        return status, content
+
+    def test_solve_round_trip(self, serve_operator):
+        import json
+
+        server = make_server(serve_operator)
+
+        async def main():
+            http = await serve_http(server)
+            b = np.linspace(0.0, 1.0, N)
+            status, content = await self._request(
+                http.port, "POST", "/v1/solve", {"model": "m", "b": b.tolist()}
+            )
+            await http.aclose()
+            await server.aclose()
+            return status, json.loads(content), b
+
+        status, data, b = run(main())
+        assert status == 200
+        model = server.registry.get("m")
+        np.testing.assert_allclose(
+            np.asarray(data["x"]), model.factorization().solve(b), atol=1e-10
+        )
+
+    def test_health_metrics_and_errors(self, serve_operator):
+        import json
+
+        server = make_server(serve_operator)
+
+        async def main():
+            http = await serve_http(server)
+            port = http.port
+            results = {}
+            results["health"] = await self._request(port, "GET", "/v1/health")
+            results["metrics"] = await self._request(port, "GET", "/metrics")
+            results["missing_model"] = await self._request(
+                port, "POST", "/v1/solve", {"model": "ghost", "b": [1.0]}
+            )
+            results["bad_shape"] = await self._request(
+                port, "POST", "/v1/solve", {"model": "m", "b": [1.0, 2.0]}
+            )
+            results["no_route"] = await self._request(port, "GET", "/nope")
+            results["wrong_method"] = await self._request(
+                port, "GET", "/v1/solve"
+            )
+            await http.aclose()
+            await server.aclose()
+            return results
+
+        results = run(main())
+        status, content = results["health"]
+        assert status == 200
+        assert json.loads(content)["status"] == "ok"
+        status, content = results["metrics"]
+        assert status == 200
+        assert content.decode().rstrip().endswith("# EOF")
+        assert results["missing_model"][0] == 404
+        assert results["bad_shape"][0] == 400
+        assert results["no_route"][0] == 404
+        assert results["wrong_method"][0] == 405
+
+
+# ----------------------------------------------------- end-to-end speed sanity
+@pytest.mark.slow
+def test_micro_batched_throughput_beats_unbatched(serve_operator):
+    """Scaled-down version of the acceptance benchmark: batched serving must
+    beat the batching-disabled baseline on concurrent solve rounds (the full
+    >=3x claim at N=4096 / 64 clients lives in bench_serve_latency.py)."""
+    rng = np.random.default_rng(0)
+    payloads = [rng.standard_normal(N) for _ in range(32)]
+
+    def round_trip(batching: bool) -> float:
+        server = make_server(serve_operator, batching=batching,
+                             max_batch=64, max_wait_ms=2.0)
+        server.registry.get("m").factorization()  # pay it outside the timing
+
+        async def fire():
+            await asyncio.gather(
+                *[server.handle(SolveRequest(model="m", b=b))
+                  for b in payloads]
+            )
+
+        start = time.perf_counter()
+        for _ in range(3):
+            run(fire())
+        elapsed = time.perf_counter() - start
+        run(server.aclose())
+        return elapsed
+
+    unbatched = round_trip(False)
+    batched = round_trip(True)
+    assert batched < unbatched
